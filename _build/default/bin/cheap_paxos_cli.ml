@@ -1,0 +1,270 @@
+(* Command-line entry point: run the evaluation, single experiments, or a
+   traced demo cluster. *)
+
+open Cmdliner
+module Experiments = Cp_harness.Experiments
+module Outcome = Cp_harness.Outcome
+
+let run_experiments quick only csv_dir =
+  let exps =
+    match only with
+    | [] -> Experiments.all
+    | ids ->
+      List.filter
+        (fun e -> List.mem (String.lowercase_ascii e.Experiments.eid) ids)
+        Experiments.all
+  in
+  if exps = [] then begin
+    Printf.eprintf "no experiment matches; known: %s\n"
+      (String.concat ", " (List.map (fun e -> e.Experiments.eid) Experiments.all));
+    exit 2
+  end;
+  let write_csv name table =
+    match csv_dir with
+    | None -> ()
+    | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path = Filename.concat dir (String.lowercase_ascii name ^ ".csv") in
+      let oc = open_out path in
+      output_string oc (Cp_util.Table.to_csv table);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  in
+  let outcomes =
+    List.concat_map
+      (fun e ->
+        let table, outcomes = e.Experiments.run ~quick in
+        Cp_util.Table.print
+          ~title:(Printf.sprintf "%s: %s" e.Experiments.eid e.Experiments.title)
+          table;
+        write_csv e.Experiments.eid table;
+        outcomes)
+      exps
+  in
+  Cp_util.Table.print ~title:"Claim-by-claim verdicts" (Outcome.to_table outcomes);
+  write_csv "verdicts" (Outcome.to_table outcomes);
+  if Outcome.all_pass outcomes then 0 else 1
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Shrink sweeps for a fast run.")
+
+let only_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "only" ] ~docv:"ID" ~doc:"Run only the given experiment (repeatable), e.g. e3.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR" ~doc:"Also write every table as CSV into $(docv).")
+
+let experiments_cmd =
+  let doc = "Run the evaluation suite (all tables; see DESIGN.md section 5)." in
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(
+      const (fun quick only csv ->
+          Stdlib.exit (run_experiments quick (List.map String.lowercase_ascii only) csv))
+      $ quick_flag $ only_arg $ csv_arg)
+
+let run_demo seed trace =
+  let module Cluster = Cp_runtime.Cluster in
+  let module Faults = Cp_runtime.Faults in
+  let initial = Cheap_paxos.Cheap.initial_config ~f:1 in
+  let cluster =
+    Cluster.create ~seed ~policy:Cheap_paxos.Cheap.policy ~initial
+      ~app:(module Cp_smr.Kv) ()
+  in
+  if trace then
+    Cp_sim.Engine.set_tracer (Cluster.engine cluster) (fun time node line ->
+        Printf.printf "%8.4fs  n%d  %s\n" time node line);
+  let rng = Cp_util.Rng.create seed in
+  let ops = Cp_workload.Workload.kv_ops ~rng ~keys:8 ~read_ratio:0.4 ~count:60 () in
+  let _, client = Cluster.add_client cluster ~ops () in
+  Faults.schedule cluster [ (0.02, Faults.Crash 1); (0.2, Faults.Restart 1) ];
+  let finished =
+    Cluster.run_until cluster ~deadline:5. (fun () -> Cp_smr.Client.is_finished client)
+  in
+  Printf.printf "\nfinished=%b ops=%d leader=%s\n" finished
+    (Cp_smr.Client.done_count client)
+    (match Cluster.leader cluster with Some l -> string_of_int l | None -> "none");
+  (match Cp_runtime.Inspect.check_safety cluster with
+  | Ok () -> print_endline "safety: OK"
+  | Error e -> Printf.printf "safety: VIOLATION: %s\n" e);
+  0
+
+let demo_cmd =
+  let doc = "Run a small Cheap Paxos cluster with a crash/restart, optionally traced." in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.") in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print protocol trace lines.") in
+  Cmd.v (Cmd.info "demo" ~doc)
+    Term.(const (fun s t -> Stdlib.exit (run_demo s t)) $ seed $ trace)
+
+(* ------------------------------------------------------------------ *)
+(* Real multi-process cluster: `node` runs one machine over UDP,      *)
+(* `put`/`get` run a one-shot client. Start e.g.                      *)
+(*   cheap-paxos node --id 0 --f 1 &                                  *)
+(*   cheap-paxos node --id 1 --f 1 &                                  *)
+(*   cheap-paxos node --id 2 --f 1 &                                  *)
+(*   cheap-paxos put greeting hello                                   *)
+(* ------------------------------------------------------------------ *)
+
+let base_port_arg =
+  Arg.(value & opt int 4600 & info [ "base-port" ] ~docv:"PORT"
+         ~doc:"UDP port of machine 0; machine $(i,i) binds base+$(i,i).")
+
+let f_arg =
+  Arg.(value & opt int 1 & info [ "f" ] ~docv:"F" ~doc:"Fault tolerance (f+1 mains, f auxes).")
+
+let run_node id f base_port =
+  let initial = Cheap_paxos.Cheap.initial_config ~f in
+  let universe_mains = List.init (f + 1) Fun.id in
+  let universe_auxes = List.init f (fun i -> f + 1 + i) in
+  let role =
+    if List.mem id universe_mains then Cp_engine.Replica.Main
+    else if List.mem id universe_auxes then Cp_engine.Replica.Aux
+    else begin
+      Printf.eprintf "id %d out of range for f=%d (machines 0..%d)\n" id f (2 * f);
+      Stdlib.exit 2
+    end
+  in
+  let node =
+    Cp_netio.Node.create
+      ~port_of:(fun i -> base_port + i)
+      ~id_of_port:(fun p -> p - base_port)
+      ~id ~seed:(Unix.getpid ())
+      ~build:(fun ctx ->
+        let r =
+          Cp_engine.Replica.create ctx ~role ~policy:Cheap_paxos.Cheap.policy
+            ~params:Cp_engine.Params.default ~initial ~universe_mains ~universe_auxes
+            ~app:(module Cp_smr.Kv)
+        in
+        Cp_engine.Replica.handlers r)
+      ()
+  in
+  Printf.printf "machine %d (%s) serving on udp/127.0.0.1:%d — ctrl-c to stop\n%!" id
+    (match role with Cp_engine.Replica.Main -> "main" | Aux -> "auxiliary")
+    (base_port + id);
+  let rec forever () =
+    Cp_netio.Node.run_for node 3600.;
+    forever ()
+  in
+  forever ()
+
+let node_cmd =
+  let doc = "Run one machine of a real UDP cluster (replicated KV store)." in
+  let id = Arg.(required & opt (some int) None & info [ "id" ] ~docv:"ID" ~doc:"Machine id.") in
+  Cmd.v (Cmd.info "node" ~doc)
+    Term.(const (fun id f bp -> run_node id f bp) $ id $ f_arg $ base_port_arg)
+
+let run_client_op f base_port op =
+  let universe_mains = List.init (f + 1) Fun.id in
+  let cell = ref None in
+  (* Distinct id per invocation: session state on the replicas is keyed by
+     client id, so one-shot clients must not reuse each other's. *)
+  let client_id = 1000 + (Unix.getpid () mod 10_000) in
+  let node =
+    Cp_netio.Node.create
+      ~port_of:(fun i -> base_port + i)
+      ~id_of_port:(fun p -> p - base_port)
+      ~id:client_id ~seed:(Unix.getpid ())
+      ~build:(fun ctx ->
+        let c =
+          Cp_smr.Client.create ctx ~mains:universe_mains ~timeout:0.3
+            ~ops:(fun seq -> if seq = 1 then Some op else None)
+            ()
+        in
+        cell := Some c;
+        Cp_smr.Client.handlers c)
+      ()
+  in
+  let client = Option.get !cell in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while
+    (not (Cp_netio.Node.with_lock node (fun () -> Cp_smr.Client.is_finished client)))
+    && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.02
+  done;
+  let code =
+    match Cp_netio.Node.with_lock node (fun () -> Cp_smr.Client.history client) with
+    | [ (_, _, _, result) ] ->
+      print_endline result;
+      0
+    | _ ->
+      prerr_endline "timed out: is the cluster running?";
+      1
+  in
+  Cp_netio.Node.shutdown node;
+  code
+
+let put_cmd =
+  let doc = "Write a key on a running cluster (see $(b,node))." in
+  let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
+  let value = Arg.(required & pos 1 (some string) None & info [] ~docv:"VALUE") in
+  Cmd.v (Cmd.info "put" ~doc)
+    Term.(
+      const (fun f bp k v -> Stdlib.exit (run_client_op f bp (Cp_smr.Kv.put k v)))
+      $ f_arg $ base_port_arg $ key $ value)
+
+let get_cmd =
+  let doc = "Read a key from a running cluster (see $(b,node))." in
+  let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
+  Cmd.v (Cmd.info "get" ~doc)
+    Term.(
+      const (fun f bp k -> Stdlib.exit (run_client_op f bp (Cp_smr.Kv.get k)))
+      $ f_arg $ base_port_arg $ key)
+
+(* ------------------------------------------------------------------ *)
+(* Model checking from the command line                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_mc f broken =
+  let module Mc = Cp_mc.Mc in
+  let module M = Cp_mc.Mc_multi in
+  Printf.printf "single-decree quorum core (f=%d, 2 competing proposers)%s:\n" f
+    (if broken then ", BROKEN quorums" else "");
+  let quorums =
+    if broken then [ List.init f Fun.id; List.init (f + 1) (fun i -> f + i) ]
+    else Mc.cheap_quorums ~f
+  in
+  let r =
+    Mc.check { Mc.n_acceptors = (2 * f) + 1; quorums; proposals = [ (0, 100); (1, 200) ] }
+  in
+  Printf.printf "  %d states explored (depth %d): %s\n" r.Mc.states r.Mc.max_depth
+    (match r.Mc.violation with
+    | None -> "agreement holds in every reachable state"
+    | Some why -> "VIOLATION: " ^ why);
+  if f = 1 then begin
+    Printf.printf "reconfiguration window (two instances, alpha=1)%s:\n"
+      (if broken then ", assumed-config shortcut" else "");
+    let discipline = if broken then `Assumed_config else `Derived_config in
+    let r2 = M.check { M.proposals = [ (`Reconfig, 10); (`Value 2, 11) ]; discipline } in
+    Printf.printf "  %d states explored (depth %d): %s\n" r2.M.states r2.M.max_depth
+      (match r2.M.violation with
+      | None -> "agreement holds in every reachable state"
+      | Some why -> "VIOLATION: " ^ why)
+  end;
+  match (broken, (r.Mc.violation : string option)) with
+  | false, None -> 0
+  | false, Some _ -> 1
+  | true, _ -> 0
+
+let mc_cmd =
+  let doc =
+    "Exhaustively model-check the quorum core (and, at f=1, the reconfiguration \
+     window). Pass $(b,--broken) to see the counterexamples for a non-intersecting \
+     quorum system and the assumed-config shortcut."
+  in
+  let broken = Arg.(value & flag & info [ "broken" ] ~doc:"Check the broken variants instead.") in
+  Cmd.v (Cmd.info "mc" ~doc)
+    Term.(const (fun f broken -> Stdlib.exit (run_mc f broken)) $ f_arg $ broken)
+
+let () =
+  let doc = "Cheap Paxos (DSN 2004) reproduction" in
+  let info = Cmd.info "cheap-paxos" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ experiments_cmd; demo_cmd; node_cmd; put_cmd; get_cmd; mc_cmd ]))

@@ -1,0 +1,1 @@
+examples/aux_storage_demo.ml: Cheap_paxos Cp_runtime Cp_sim Cp_smr Cp_util Cp_workload List Printf

@@ -1,0 +1,1 @@
+examples/aux_storage_demo.mli:

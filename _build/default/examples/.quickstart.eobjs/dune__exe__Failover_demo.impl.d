@@ -1,0 +1,1 @@
+examples/failover_demo.ml: Cheap_paxos Cp_engine Cp_proto Cp_runtime Cp_smr Cp_workload Float Format List Printf

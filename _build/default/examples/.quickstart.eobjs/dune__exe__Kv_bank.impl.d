@@ -1,0 +1,1 @@
+examples/kv_bank.ml: Cheap_paxos Cp_engine Cp_proto Cp_runtime Cp_smr Cp_util Cp_workload Format List Printf

@@ -1,0 +1,1 @@
+examples/lock_service.ml: Cheap_paxos Cp_runtime Cp_smr List Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cheap_paxos Cp_proto Cp_runtime Cp_smr Format List Printf

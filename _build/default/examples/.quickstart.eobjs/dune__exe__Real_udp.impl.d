@@ -1,0 +1,1 @@
+examples/real_udp.ml: Array Cheap_paxos Cp_engine Cp_netio Cp_smr Hashtbl List Option Printf Thread Unix

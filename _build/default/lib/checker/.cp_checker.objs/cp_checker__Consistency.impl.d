@@ -1,0 +1,1 @@
+lib/checker/consistency.ml: Config Cp_proto Format Hashtbl List Printf Types

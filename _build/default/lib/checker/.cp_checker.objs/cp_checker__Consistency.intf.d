@@ -1,0 +1,1 @@
+lib/checker/consistency.mli: Config Cp_proto Types

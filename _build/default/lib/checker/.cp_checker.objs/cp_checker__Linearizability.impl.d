@@ -1,0 +1,1 @@
+lib/checker/linearizability.ml: Array Bytes Hashtbl List Option Printf String

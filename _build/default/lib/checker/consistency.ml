@@ -1,0 +1,96 @@
+open Cp_proto
+
+type dump = {
+  node : int;
+  base : int;
+  entries : (int * Types.entry) list;
+}
+
+let agreement dumps =
+  let merged : (int, int * Types.entry) Hashtbl.t = Hashtbl.create 256 in
+  let check_one d =
+    List.fold_left
+      (fun acc (i, e) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () -> (
+          match Hashtbl.find_opt merged i with
+          | None ->
+            Hashtbl.add merged i (d.node, e);
+            Ok ()
+          | Some (other, e') ->
+            if Types.entry_equal e e' then Ok ()
+            else
+              Error
+                (Format.asprintf
+                   "agreement violated at instance %d: node %d chose %a, node %d chose %a"
+                   i other Types.pp_entry e' d.node Types.pp_entry e)))
+      (Ok ()) d.entries
+  in
+  List.fold_left
+    (fun acc d -> match acc with Error _ -> acc | Ok () -> check_one d)
+    (Ok ()) dumps
+
+let no_gaps_below_executed d ~executed =
+  let present = Hashtbl.create 64 in
+  List.iter (fun (i, _) -> Hashtbl.replace present i ()) d.entries;
+  let rec go i =
+    if i >= executed then Ok ()
+    else if Hashtbl.mem present i then go (i + 1)
+    else Error (Printf.sprintf "node %d: executed=%d but instance %d missing" d.node executed i)
+  in
+  go d.base
+
+let configs_agree timelines =
+  let merged : (int, int * Config.t) Hashtbl.t = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc (node, timeline) ->
+      List.fold_left
+        (fun acc (from, cfg) ->
+          match acc with
+          | Error _ -> acc
+          | Ok () -> (
+            match Hashtbl.find_opt merged from with
+            | None ->
+              Hashtbl.add merged from (node, cfg);
+              Ok ()
+            | Some (other, cfg') ->
+              if Config.equal cfg cfg' then Ok ()
+              else
+                Error
+                  (Format.asprintf
+                     "config divergence at instance %d: node %d has %a, node %d has %a"
+                     from other Config.pp cfg' node Config.pp cfg)))
+        acc timeline)
+    (Ok ()) timelines
+
+let command_uniqueness dumps =
+  (* Merge all logs (agreement must already hold); then a command appearing
+     at two instances must carry identical payloads (it is a benign
+     re-proposal), never different ones. *)
+  let merged : (int, Types.entry) Hashtbl.t = Hashtbl.create 256 in
+  List.iter (fun d -> List.iter (fun (i, e) -> Hashtbl.replace merged i e) d.entries) dumps;
+  let by_cmd : (int * int, string) Hashtbl.t = Hashtbl.create 256 in
+  let check_cmd acc ({ client; seq; op } : Types.command) =
+    match acc with
+    | Error _ -> acc
+    | Ok () -> (
+      match Hashtbl.find_opt by_cmd (client, seq) with
+      | None ->
+        Hashtbl.add by_cmd (client, seq) op;
+        Ok ()
+      | Some op' ->
+        if op = op' then Ok ()
+        else
+          Error
+            (Printf.sprintf
+               "command (%d,%d) chosen with two different payloads: %s vs %s" client seq
+               op' op))
+  in
+  Hashtbl.fold
+    (fun _i e acc ->
+      match e with
+      | Types.App cmd -> check_cmd acc cmd
+      | Types.Batch cmds -> List.fold_left check_cmd acc cmds
+      | Types.Noop | Types.Reconfig _ -> acc)
+    merged (Ok ())

@@ -1,0 +1,33 @@
+(** Replicated-log safety checks.
+
+    These express the agreement properties Paxos must provide; tests and the
+    harness run them over replica dumps after every adversarial schedule.
+    Inputs are plain data so the checker is independent of the runtime. *)
+
+open Cp_proto
+
+type dump = {
+  node : int;
+  base : int;  (** instances below this were snapshotted away *)
+  entries : (int * Types.entry) list;  (** chosen entries ≥ base *)
+}
+
+val agreement : dump list -> (unit, string) result
+(** No two replicas disagree on the entry chosen at any instance. The error
+    string pinpoints the first conflicting instance. *)
+
+val no_gaps_below_executed : dump -> executed:int -> (unit, string) result
+(** Every instance in [\[base, executed)] is present: execution never skips. *)
+
+val configs_agree :
+  (int * (int * Config.t) list) list -> (unit, string) result
+(** Replica configuration timelines never contradict each other: where two
+    replicas both define a configuration change point, the configurations are
+    equal. Input: [(node, timeline)] pairs. *)
+
+val command_uniqueness : dump list -> (unit, string) result
+(** A given client command [(client, seq)] is chosen at at most one instance
+    {e per replica view}, merged across replicas. Duplicate choice at two
+    instances is legal Paxos (re-proposal), but the {e merged} log must be
+    consistent; this check reports commands chosen at conflicting instances
+    with different payloads. *)

@@ -1,0 +1,115 @@
+type ('st, 'op, 'res) model = {
+  init : 'st;
+  step : 'st -> 'op -> 'st * 'res;
+  state_key : 'st -> string;
+}
+
+type ('op, 'res) event = {
+  inv : float;
+  comp : float;
+  op : 'op;
+  result : 'res;
+}
+
+(* Wing & Gong: repeatedly pick a "minimal" pending operation (one invoked
+   before every pending completion), apply it to the model, and recurse.
+   Memoize on (set of linearized ops, model state) to prune re-exploration. *)
+let check model events =
+  let n = List.length events in
+  let evs = Array.of_list events in
+  let visited = Hashtbl.create 1024 in
+  let key done_mask st =
+    let b = Bytes.create n in
+    for i = 0 to n - 1 do
+      Bytes.set b i (if done_mask.(i) then '1' else '0')
+    done;
+    Bytes.to_string b ^ "|" ^ model.state_key st
+  in
+  let rec go done_mask remaining st =
+    if remaining = 0 then true
+    else begin
+      let k = key done_mask st in
+      if Hashtbl.mem visited k then false
+      else begin
+        Hashtbl.add visited k ();
+        (* Minimal ops: pending, invoked before the earliest pending completion. *)
+        let min_comp = ref infinity in
+        for i = 0 to n - 1 do
+          if (not done_mask.(i)) && evs.(i).comp < !min_comp then min_comp := evs.(i).comp
+        done;
+        let rec try_ops i =
+          if i >= n then false
+          else if done_mask.(i) || evs.(i).inv > !min_comp then try_ops (i + 1)
+          else begin
+            let st', res = model.step st evs.(i).op in
+            if res = evs.(i).result then begin
+              done_mask.(i) <- true;
+              let ok = go done_mask (remaining - 1) st' in
+              done_mask.(i) <- false;
+              if ok then true else try_ops (i + 1)
+            end
+            else try_ops (i + 1)
+          end
+        in
+        try_ops 0
+      end
+    end
+  in
+  go (Array.make n false) n model.init
+
+(* --- KV instantiation ------------------------------------------------- *)
+
+type kv_op =
+  | Get
+  | Put of string
+  | Del
+  | Cas of string * string
+
+let parse_op op =
+  match String.split_on_char ' ' op with
+  | [ "GET"; k ] -> Some (k, Get)
+  | [ "PUT"; k; v ] -> Some (k, Put v)
+  | [ "DEL"; k ] -> Some (k, Del)
+  | [ "CAS"; k; old; new_ ] -> Some (k, Cas (old, new_))
+  | _ -> None
+
+let kv_model : (string option, kv_op, string) model =
+  {
+    init = None;
+    step =
+      (fun st op ->
+        match op with
+        | Get -> (st, (match st with Some v -> v | None -> "NONE"))
+        | Put v -> (Some v, "OK")
+        | Del -> (None, "OK")
+        | Cas (old, new_) -> (
+          match st with
+          | Some v when v = old -> (Some new_, "OK")
+          | _ -> (st, "FAIL")));
+    state_key = (fun st -> match st with Some v -> v | None -> "\x00none");
+  }
+
+let check_kv history =
+  let per_key : (string, (kv_op, string) event list) Hashtbl.t = Hashtbl.create 16 in
+  let parse_all =
+    List.fold_left
+      (fun acc (inv, comp, op, result) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () -> (
+          match parse_op op with
+          | None -> Error (Printf.sprintf "unparsable KV op: %s" op)
+          | Some (k, op) ->
+            let ev = { inv; comp; op; result } in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt per_key k) in
+            Hashtbl.replace per_key k (ev :: prev);
+            Ok ()))
+      (Ok ()) history
+  in
+  match parse_all with
+  | Error e -> Error e
+  | Ok () ->
+    Ok
+      (Hashtbl.fold
+         (fun _k evs acc -> acc && check kv_model (List.rev evs))
+         per_key true)

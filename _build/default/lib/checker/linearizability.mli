@@ -1,0 +1,28 @@
+(** Linearizability checking (Wing & Gong backtracking with memoization).
+
+    Generic over a sequential model; {!check_kv} instantiates it for the
+    [Cp_smr.Kv] store, splitting the history per key (keys are independent,
+    which keeps the search small). Histories come from
+    [Cp_smr.Client.history]. *)
+
+type ('st, 'op, 'res) model = {
+  init : 'st;
+  step : 'st -> 'op -> 'st * 'res;
+  state_key : 'st -> string;  (** stable digest for memoization *)
+}
+
+type ('op, 'res) event = {
+  inv : float;  (** invocation time *)
+  comp : float;  (** completion time *)
+  op : 'op;
+  result : 'res;
+}
+
+val check : ('st, 'op, 'res) model -> ('op, 'res) event list -> bool
+(** Whether some linearization of the (possibly concurrent) history matches
+    the sequential model. Real-time order is respected: if [a.comp < b.inv]
+    then [a] precedes [b] in every candidate order. *)
+
+val check_kv : (float * float * string * string) list -> (bool, string) result
+(** Check a KV history [(invoked, completed, op, result)]. [Error] if an op
+    string does not parse. The check is per key. *)

@@ -1,0 +1,1 @@
+lib/core/cheap_paxos.ml: Analysis Cheap

@@ -1,0 +1,1 @@
+lib/core/cheap.ml: Config Cp_engine Cp_proto List

@@ -1,0 +1,1 @@
+lib/core/cheap.mli: Cp_engine Cp_proto

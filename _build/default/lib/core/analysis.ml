@@ -1,0 +1,66 @@
+type system = Cheap | Classic
+
+let machines _ ~f = (2 * f) + 1
+
+let working_machines sys ~f =
+  match sys with Cheap -> f + 1 | Classic -> (2 * f) + 1
+
+let acceptor_set_size _ ~f = (2 * f) + 1
+
+let quorum_size _ ~f = f + 1
+
+let messages_per_commit sys ~f =
+  match sys with
+  | Cheap -> 3 * f (* 2a to f mains, f 2b replies, f commits *)
+  | Classic -> 6 * f (* 2a/2b with 2f acceptors, commits to 2f replicas *)
+
+let aux_messages_per_commit _ ~f:_ = 0
+
+let leader_messages_per_commit sys ~f =
+  match sys with Cheap -> 3 * f | Classic -> 6 * f
+
+let hardware_cost ?(aux_cost_ratio = 0.1) sys ~f =
+  match sys with
+  | Cheap -> float_of_int (f + 1) +. (aux_cost_ratio *. float_of_int f)
+  | Classic -> float_of_int ((2 * f) + 1)
+
+let cost_saving ?aux_cost_ratio ~f () =
+  1. -. (hardware_cost ?aux_cost_ratio Cheap ~f /. hardware_cost ?aux_cost_ratio Classic ~f)
+
+(* P(at least k of n independent machines up), each up with probability p. *)
+let at_least k n p =
+  let rec choose n k =
+    if k = 0 || k = n then 1.
+    else choose (n - 1) (k - 1) *. float_of_int n /. float_of_int k
+  in
+  let term i =
+    choose n i *. (p ** float_of_int i) *. ((1. -. p) ** float_of_int (n - i))
+  in
+  let rec sum i acc = if i > n then acc else sum (i + 1) (acc +. term i) in
+  sum k 0.
+
+let static_availability sys ~f ~p =
+  match sys with
+  | Classic -> at_least (f + 1) ((2 * f) + 1) p
+  | Cheap ->
+    (* Need >= f+1 of the 2f+1 acceptors up AND >= 1 of the f+1 mains up.
+       Condition on the number of mains up (m of f+1) and auxes up (a of f):
+       commit possible iff m >= 1 and m + a >= f + 1. *)
+    let rec choose n k =
+      if k = 0 || k = n then 1.
+      else choose (n - 1) (k - 1) *. float_of_int n /. float_of_int k
+    in
+    let binom n i =
+      choose n i *. (p ** float_of_int i) *. ((1. -. p) ** float_of_int (n - i))
+    in
+    let total = ref 0. in
+    for m = 1 to f + 1 do
+      for a = 0 to f do
+        if m + a >= f + 1 then total := !total +. (binom (f + 1) m *. binom f a)
+      done
+    done;
+    !total
+
+let pp_system ppf = function
+  | Cheap -> Format.pp_print_string ppf "cheap"
+  | Classic -> Format.pp_print_string ppf "classic"

@@ -1,0 +1,69 @@
+(** Analytic cost model from the Cheap Paxos paper.
+
+    The DSN 2004 paper argues its claims analytically rather than with
+    measurements. This module states those formulas; the benchmark harness
+    prints them next to measured values so the reproduction can be checked
+    experiment by experiment (EXPERIMENTS.md). All counts are failure-free
+    steady state, one committed command, excluding retransmissions. *)
+
+type system = Cheap | Classic
+
+val machines : system -> f:int -> int
+(** Total machines deployed: [2f+1] for both — the saving is in {e work},
+    not machine count. See {!working_machines}. *)
+
+val working_machines : system -> f:int -> int
+(** Machines doing per-command work in the failure-free case: [f+1] mains
+    for Cheap (the paper's headline), [2f+1] for Classic. *)
+
+val acceptor_set_size : system -> f:int -> int
+
+val quorum_size : system -> f:int -> int
+
+val messages_per_commit : system -> f:int -> int
+(** Inter-replica messages to commit one command with a stable leader:
+    phase 2a to each non-leader acceptor targeted, their 2b replies, and the
+    commit notification to the other mains.
+    Cheap targets its [f] non-leader mains: [3f] messages.
+    Classic targets all [2f] non-leader acceptors: [4f] 2a/2b plus [2f]
+    commits = [6f]. *)
+
+val aux_messages_per_commit : system -> f:int -> int
+(** Messages an auxiliary handles per command in the failure-free case:
+    0 for Cheap (auxiliaries idle), and Classic has no auxiliaries. *)
+
+val leader_messages_per_commit : system -> f:int -> int
+(** Messages the (bottleneck) leader sends or receives per command,
+    excluding the client request/response pair: Cheap [3f] ([f] 2a out,
+    [f] 2b in, [f] commits out), Classic [6f] (the same over [2f]
+    followers). Adding the 2 client messages gives the saturation ratio
+    [(6f+2)/(3f+2)] measured in E8. *)
+
+(** {1 Hardware-cost model (the paper's economics)}
+
+    The paper's motivation is that the [f] auxiliaries can be {e cheap}
+    machines: they need negligible CPU (E1/E2), bounded storage (E5), and
+    work only during reconfigurations (E3/E9). The cost model prices a main
+    at 1.0 and an auxiliary at [aux_cost_ratio] (default 0.1 — e.g. the
+    smallest VM in a rack of large ones). *)
+
+val hardware_cost : ?aux_cost_ratio:float -> system -> f:int -> float
+(** Total machine cost to tolerate [f] faults. *)
+
+val cost_saving : ?aux_cost_ratio:float -> f:int -> unit -> float
+(** [1 - cost(cheap)/cost(classic)] — the fraction of the hardware bill the
+    paper's design removes. *)
+
+(** {1 Static availability model}
+
+    Probability the service can commit, when each machine is independently
+    up with probability [p] and no repair/reconfiguration is modelled
+    (static quorums — the pessimistic bound for Cheap Paxos, which in
+    practice repairs via reconfiguration, E9):
+    both systems need a majority of their [2f+1] acceptors up, but Cheap
+    additionally needs a main up to lead ([f+1] mains) while Classic can
+    lead from any replica. *)
+
+val static_availability : system -> f:int -> p:float -> float
+
+val pp_system : Format.formatter -> system -> unit

@@ -1,0 +1,30 @@
+open Cp_proto
+
+let policy =
+  {
+    Cp_engine.Policy.name = "cheap";
+    narrow_phase2 = true;
+    widen_on_timeout = true;
+    reconfigure = true;
+  }
+
+let initial_config ~f = Config.cheap ~f
+
+let tolerates (cfg : Config.t) = List.length cfg.Config.mains - 1
+
+let invariant cfg =
+  let accs = Config.acceptors cfg in
+  let q = Config.quorum_size cfg in
+  let mains = cfg.Config.mains in
+  let auxes = Config.active_auxes cfg in
+  Config.mains_are_majority cfg
+  && List.length auxes < q (* auxiliaries alone can never form a quorum *)
+  && List.length accs = List.length mains + List.length auxes
+
+(* Enumerate subsets of size q when the acceptor set is small; any two
+   quorums intersect iff 2q > |acceptors|, which we also verify directly. *)
+let quorum_intersection cfg =
+  let accs = Config.acceptors cfg in
+  let n = List.length accs in
+  let q = Config.quorum_size cfg in
+  (2 * q) > n

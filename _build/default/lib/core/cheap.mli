@@ -1,0 +1,40 @@
+(** Cheap Paxos (Lamport & Massa, DSN 2004).
+
+    The protocol is Multi-Paxos over [2f+1] acceptors where only the [f+1]
+    {e main} processors do work in the failure-free case:
+
+    - {!policy} makes the leader run phase 2 against the mains only (they
+      are a majority of the acceptor set, hence a legal quorum), engage the
+      [f] {e auxiliary} acceptors when a main stalls, and repair the
+      configuration through the log ([Remove_main] / [Add_main]) so the
+      auxiliaries return to idleness;
+    - {!initial_config} builds the [(f+1, f)] configuration;
+    - auxiliary vote compaction (bounded auxiliary storage) is performed by
+      the acceptor whenever the leader announces a durable commit floor —
+      see {!Cp_engine.Acceptor.compact} and the [CommitFloor] message.
+
+    The mechanics live in [cp_engine]; this module is the paper-facing
+    surface: the policy value that turns the engine into Cheap Paxos, plus
+    constructors and invariant checks. *)
+
+val policy : Cp_engine.Policy.t
+(** [{ narrow_phase2 = true; widen_on_timeout = true; reconfigure = true }] *)
+
+val initial_config : f:int -> Cp_proto.Config.t
+(** Mains [0..f], auxiliary pool [f+1..2f] (ids are conventional; the
+    runtime can relabel). *)
+
+val tolerates : Cp_proto.Config.t -> int
+(** How many {e main} crash failures the configuration survives (with
+    repair between failures): [|mains| - 1]. *)
+
+val invariant : Cp_proto.Config.t -> bool
+(** The structural invariant Cheap Paxos relies on: the mains are a
+    majority of the acceptor set (so the mains-only fast path is a legal
+    quorum), and every quorum necessarily contains at least one main (which
+    is what makes auxiliary vote compaction safe: some durable main always
+    holds each chosen value). *)
+
+val quorum_intersection : Cp_proto.Config.t -> bool
+(** Any two quorums of the configuration intersect — checked exhaustively
+    for small configurations, by sampling otherwise. Used by tests. *)

@@ -1,0 +1,36 @@
+(** Cheap Paxos (Lamport & Massa, DSN 2004) — library entry point.
+
+    {1 Orientation}
+
+    State machine replication tolerating [f] crash faults with [f+1]
+    {e main} processors doing the work and [f] {e auxiliary} processors
+    that are idle except during reconfigurations. See the repository
+    README for the architecture and DESIGN.md/SAFETY.md for the design and
+    safety argument.
+
+    The fastest way in:
+
+    {[
+      let initial = Cheap_paxos.initial_config ~f:1 in
+      let cluster =
+        Cp_runtime.Cluster.create ~policy:Cheap_paxos.policy ~initial
+          ~app:(module Cp_smr.Kv) ()
+      in
+      ...
+    ]}
+
+    {!Cheap} holds the policy and configuration invariants; {!Analysis}
+    the paper's analytic cost/availability models. The protocol machinery
+    lives in [Cp_engine] (shared with the classic baseline), the simulator
+    in [Cp_sim], and the real UDP runtime in [Cp_netio]. *)
+
+module Cheap = Cheap
+module Analysis = Analysis
+
+let policy = Cheap.policy
+
+let initial_config = Cheap.initial_config
+
+let tolerates = Cheap.tolerates
+
+let invariant = Cheap.invariant

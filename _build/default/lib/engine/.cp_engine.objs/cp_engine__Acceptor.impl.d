@@ -1,0 +1,1 @@
+lib/engine/acceptor.ml: Ballot Cp_proto Int List Map Types

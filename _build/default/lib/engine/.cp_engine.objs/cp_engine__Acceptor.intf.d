@@ -1,0 +1,1 @@
+lib/engine/acceptor.mli: Cp_proto

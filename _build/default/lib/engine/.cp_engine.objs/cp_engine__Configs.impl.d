@@ -1,0 +1,1 @@
+lib/engine/configs.ml: Config Cp_proto List Types

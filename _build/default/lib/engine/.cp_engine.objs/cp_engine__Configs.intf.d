@@ -1,0 +1,1 @@
+lib/engine/configs.mli: Cp_proto

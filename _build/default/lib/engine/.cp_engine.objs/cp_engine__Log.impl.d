@@ -1,0 +1,1 @@
+lib/engine/log.ml: Cp_proto Int List Map Types

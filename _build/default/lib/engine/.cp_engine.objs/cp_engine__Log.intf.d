@@ -1,0 +1,1 @@
+lib/engine/log.mli: Cp_proto

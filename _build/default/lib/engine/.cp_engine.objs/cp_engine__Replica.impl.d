@@ -1,0 +1,1 @@
+lib/engine/replica.ml: Acceptor Appi Ballot Config Configs Cp_proto Cp_sim Cp_util Format Hashtbl List Log Option Params Policy Queue Session String Types

@@ -1,0 +1,1 @@
+lib/engine/replica.mli: Appi Ballot Config Cp_proto Cp_sim Params Policy Types

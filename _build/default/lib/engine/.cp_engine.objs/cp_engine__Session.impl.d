@@ -1,0 +1,1 @@
+lib/engine/session.ml: Int List Map

@@ -1,0 +1,61 @@
+open Cp_proto
+module IMap = Map.Make (Int)
+
+type t = {
+  mutable entries : Types.entry IMap.t;
+  mutable prefix : int;
+  mutable base : int;
+}
+
+exception Conflict of int
+
+let create () = { entries = IMap.empty; prefix = 0; base = 0 }
+
+let get t i = IMap.find_opt i t.entries
+
+let is_chosen t i = i < t.base || IMap.mem i t.entries
+
+let rec advance_prefix t =
+  if IMap.mem t.prefix t.entries then begin
+    t.prefix <- t.prefix + 1;
+    advance_prefix t
+  end
+
+let add_chosen t i entry =
+  if i < t.base then false
+  else begin
+    match IMap.find_opt i t.entries with
+    | Some existing ->
+      if Types.entry_equal existing entry then false else raise (Conflict i)
+    | None ->
+      t.entries <- IMap.add i entry t.entries;
+      if i = t.prefix then advance_prefix t;
+      true
+  end
+
+let prefix t = t.prefix
+
+let max_chosen t =
+  match IMap.max_binding_opt t.entries with
+  | None -> t.base
+  | Some (i, _) -> i + 1
+
+let base t = t.base
+
+let truncate_below t n =
+  if n > t.base then begin
+    t.entries <- IMap.filter (fun i _ -> i >= n) t.entries;
+    t.base <- n;
+    if t.prefix < n then t.prefix <- n
+  end
+
+let range t ~lo ~hi =
+  IMap.fold (fun i e acc -> if i >= lo && i < hi then (i, e) :: acc else acc) t.entries []
+  |> List.rev
+
+let entry_count t = IMap.cardinal t.entries
+
+let reset_to t n =
+  t.entries <- IMap.empty;
+  t.prefix <- n;
+  t.base <- n

@@ -1,0 +1,41 @@
+(** The chosen-command log kept by main processors.
+
+    Tracks chosen entries, the contiguous chosen prefix, and a snapshot base
+    below which entries have been folded into an application snapshot and
+    discarded. Auxiliary processors hold no log at all. *)
+
+type t
+
+exception Conflict of int
+(** Raised if two different entries are reported chosen for one instance —
+    a Paxos safety violation; tests rely on it firing loudly. *)
+
+val create : unit -> t
+
+val add_chosen : t -> int -> Cp_proto.Types.entry -> bool
+(** [true] if the entry was new (not previously known chosen). Advances the
+    prefix past any now-contiguous run. Raises {!Conflict} on disagreement. *)
+
+val get : t -> int -> Cp_proto.Types.entry option
+
+val is_chosen : t -> int -> bool
+
+val prefix : t -> int
+(** First instance not known chosen: all of [\[base, prefix)] are chosen. *)
+
+val max_chosen : t -> int
+(** One past the highest chosen instance ([base] if none). *)
+
+val base : t -> int
+(** Entries below this were truncated into a snapshot. *)
+
+val truncate_below : t -> int -> unit
+
+val range : t -> lo:int -> hi:int -> (int * Cp_proto.Types.entry) list
+(** Chosen entries with instance in [\[lo, hi)], ascending. *)
+
+val entry_count : t -> int
+
+val reset_to : t -> int -> unit
+(** Drop everything and restart with [base = prefix = n] — used when
+    installing a snapshot during state transfer. *)

@@ -1,0 +1,55 @@
+type t = {
+  alpha : int;
+  tick : float;
+  hb_interval : float;
+  leader_timeout : float;
+  election_fuzz : float;
+  suspect_timeout : float;
+  widen_timeout : float;
+  retransmit : float;
+  snapshot_every : int;
+  catchup_batch : int;
+  join_interval : float;
+  client_timeout : float;
+  enable_leases : bool;
+  lease_guard : float;
+  batch_max : int;
+  session_window : int;
+  pipeline_max : int;
+}
+
+let default =
+  {
+    alpha = 32;
+    tick = 1e-3;
+    hb_interval = 5e-3;
+    leader_timeout = 25e-3;
+    election_fuzz = 15e-3;
+    suspect_timeout = 25e-3;
+    widen_timeout = 5e-3;
+    retransmit = 10e-3;
+    snapshot_every = 500;
+    catchup_batch = 256;
+    join_interval = 20e-3;
+    client_timeout = 50e-3;
+    enable_leases = false;
+    lease_guard = 25e-3;
+    batch_max = 1;
+    session_window = 1024;
+    pipeline_max = 32;
+  }
+
+let scale k t =
+  {
+    t with
+    tick = t.tick *. k;
+    hb_interval = t.hb_interval *. k;
+    leader_timeout = t.leader_timeout *. k;
+    election_fuzz = t.election_fuzz *. k;
+    suspect_timeout = t.suspect_timeout *. k;
+    widen_timeout = t.widen_timeout *. k;
+    retransmit = t.retransmit *. k;
+    join_interval = t.join_interval *. k;
+    client_timeout = t.client_timeout *. k;
+    lease_guard = t.lease_guard *. k;
+  }

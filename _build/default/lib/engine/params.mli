@@ -1,0 +1,46 @@
+(** Protocol tunables. All times are in seconds of simulated time; the
+    defaults are tuned to {!Cp_sim.Netmodel.lan} (RTT ≈ 0.2 ms). *)
+
+type t = {
+  alpha : int;
+      (** reconfiguration window: a config change chosen at instance [i]
+          takes effect at [i + alpha]; also bounds the proposal pipeline *)
+  tick : float;  (** period of the replica's housekeeping timer *)
+  hb_interval : float;  (** leader heartbeat period *)
+  leader_timeout : float;  (** follower suspects the leader after this *)
+  election_fuzz : float;
+      (** extra random delay before candidacy, desynchronizing candidates *)
+  suspect_timeout : float;  (** leader suspects a silent main after this *)
+  widen_timeout : float;
+      (** how long the leader waits for main acks before engaging
+          auxiliaries on a pending instance (Cheap policy) *)
+  retransmit : float;  (** retransmission period for unacked proposals *)
+  snapshot_every : int;  (** instances between application snapshots *)
+  catchup_batch : int;  (** max log entries per catch-up response *)
+  join_interval : float;  (** period of JoinReq from a machine outside the config *)
+  client_timeout : float;  (** client retry period *)
+  enable_leases : bool;
+      (** leader read leases: linearizable reads served locally by a leader
+          that has fresh heartbeat echoes from every main, with all mains
+          refusing new-leader promises within [lease_guard] of their last
+          leader contact. Off by default. *)
+  lease_guard : float;
+      (** the promise-refusal window; the lease itself is 0.8 of it, leaving
+          margin. Must not exceed [leader_timeout] or failover slows down. *)
+  batch_max : int;
+      (** maximum client commands packed into one log instance (1 = no
+          batching). Batching divides per-command consensus cost by the
+          achieved batch size. *)
+  session_window : int;
+      (** cached replies retained per client session for at-most-once
+          replay answers; must exceed any client's pipelining depth *)
+  pipeline_max : int;
+      (** maximum concurrently-pending client proposals. Lowering it makes
+          commands queue behind in-flight instances, which is what lets
+          batches form; the α-window still caps the pipeline regardless. *)
+}
+
+val default : t
+
+val scale : float -> t -> t
+(** Multiply every time-valued field (for slower networks). *)

@@ -1,0 +1,9 @@
+type t = {
+  name : string;
+  narrow_phase2 : bool;
+  widen_on_timeout : bool;
+  reconfigure : bool;
+}
+
+let classic =
+  { name = "classic"; narrow_phase2 = false; widen_on_timeout = false; reconfigure = false }

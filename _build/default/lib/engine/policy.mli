@@ -1,0 +1,24 @@
+(** Quorum policy: the axis along which Cheap Paxos differs from classic
+    Multi-Paxos. The replica engine is identical under both; the policy
+    decides who phase 2 targets, whether auxiliaries are engaged on demand,
+    and whether failures trigger reconfiguration.
+
+    The [classic] value lives here; the [cheap] value (the paper's policy)
+    is defined by the [cheap_paxos] library. *)
+
+type t = {
+  name : string;
+  narrow_phase2 : bool;
+      (** phase 2a initially targets main acceptors only; the mains form a
+          majority, so this is still an ordinary quorum *)
+  widen_on_timeout : bool;
+      (** engage the active auxiliaries when a pending instance has not
+          reached quorum within [widen_timeout] *)
+  reconfigure : bool;
+      (** propose [Remove_main] for suspected mains and [Add_main] for
+          joining machines *)
+}
+
+val classic : t
+(** Phase 2 to every acceptor, no auxiliaries, no reconfiguration: plain
+    Multi-Paxos over a static configuration. *)

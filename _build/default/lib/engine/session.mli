@@ -1,0 +1,37 @@
+(** Per-client at-most-once state: a windowed dedup cache.
+
+    A client may pipeline many operations (see {!Cp_smr.Open_client}), so
+    commands can execute out of order relative to their sequence numbers. A
+    single "last seq" cell would silently swallow an out-of-order command;
+    instead each session keeps the cached replies of the last [window]
+    executed sequence numbers plus a floor below which everything is known
+    executed (but evicted). Replays above the floor get their cached reply;
+    replays below it are acknowledged as ancient duplicates. *)
+
+type t
+
+(** Serializable image for snapshots / state transfer. *)
+type image = {
+  floor : int;  (** every seq ≤ floor has been executed (replies evicted) *)
+  replies : (int * string) list;  (** executed seqs > floor, with replies *)
+}
+
+val create : unit -> t
+
+val status : t -> int -> [ `New | `Cached of string | `Evicted ]
+(** Classify a sequence number: not yet executed, executed with the reply
+    still cached, or executed so long ago the reply was evicted. *)
+
+val record : t -> window:int -> int -> string -> unit
+(** Record an executed operation. Evicts cached replies to keep at most
+    [window] of them, advancing the floor. The floor only advances along
+    fully-executed prefixes, so [`New] is never misreported. *)
+
+val max_seq : t -> int
+(** Highest executed sequence number (0 if none). *)
+
+val export : t -> image
+
+val import : image -> t
+
+val cached_count : t -> int

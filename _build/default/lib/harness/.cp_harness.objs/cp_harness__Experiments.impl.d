@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Cheap_paxos Cp_engine Cp_proto Cp_runtime Cp_sim Cp_smr Cp_util Cp_workload Float Format Fun Hashtbl List Option Outcome Printf Scenario String

@@ -1,0 +1,1 @@
+lib/harness/outcome.ml: Cp_util List

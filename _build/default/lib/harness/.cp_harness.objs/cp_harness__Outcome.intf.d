@@ -1,0 +1,1 @@
+lib/harness/outcome.mli: Cp_util

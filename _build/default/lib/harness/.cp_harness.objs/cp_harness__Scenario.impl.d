@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Appi Cheap_paxos Config Cp_engine Cp_proto Cp_runtime Cp_sim Cp_smr Cp_workload List

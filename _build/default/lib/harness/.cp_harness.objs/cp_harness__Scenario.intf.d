@@ -1,0 +1,1 @@
+lib/harness/scenario.mli: Appi Cp_engine Cp_proto Cp_runtime Cp_sim Cp_smr Stdlib

@@ -1,0 +1,25 @@
+type t = {
+  id : string;
+  claim : string;
+  expected : string;
+  measured : string;
+  pass : bool;
+}
+
+let make ~id ~claim ~expected ~measured ~pass = { id; claim; expected; measured; pass }
+
+let to_table outcomes =
+  let table =
+    Cp_util.Table.create ~header:[ "id"; "claim"; "expected"; "measured"; "verdict" ]
+  in
+  List.iter
+    (fun o ->
+      Cp_util.Table.add_row table
+        [ o.id; o.claim; o.expected; o.measured; (if o.pass then "PASS" else "FAIL") ])
+    outcomes;
+  Cp_util.Table.set_align table
+    [ Cp_util.Table.Left; Cp_util.Table.Left; Cp_util.Table.Left; Cp_util.Table.Left;
+      Cp_util.Table.Left ];
+  table
+
+let all_pass = List.for_all (fun o -> o.pass)

@@ -1,0 +1,15 @@
+(** One paper-claim-vs-measured verdict, as recorded in EXPERIMENTS.md. *)
+
+type t = {
+  id : string;  (** e.g. ["E1/f=2/cheap"] *)
+  claim : string;  (** the paper's claim being measured *)
+  expected : string;  (** what the claim predicts, as a short string *)
+  measured : string;
+  pass : bool;
+}
+
+val make : id:string -> claim:string -> expected:string -> measured:string -> pass:bool -> t
+
+val to_table : t list -> Cp_util.Table.t
+
+val all_pass : t list -> bool

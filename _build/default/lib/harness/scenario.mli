@@ -1,0 +1,62 @@
+(** Shared experiment machinery: build a cluster for one of the two systems,
+    drive it with clients, apply a fault script, and collect the measurements
+    every experiment needs. *)
+
+open Cp_proto
+
+(** Which system to deploy. [Cheap f] tolerates [f] faults with [f+1] mains
+    and [f] auxiliaries; [Classic f] is plain Multi-Paxos on [2f+1] full
+    replicas — the same hardware, all of it working. *)
+type sys = Cheap of int | Classic of int
+
+type spec = {
+  sys : sys;
+  seed : int;
+  net : Cp_sim.Netmodel.t;
+  params : Cp_engine.Params.t;
+  clients : int;
+  ops_per_client : int;
+  think : float;
+  app : (module Appi.S);
+  mk_ops : client_idx:int -> int -> string option;
+  faults : (float * Cp_runtime.Faults.event) list;
+  deadline : float;
+  spare_mains : int;
+  proc_time : float option;  (** per-message CPU cost; None = infinite capacity *)
+}
+
+val default_spec : sys:sys -> spec
+(** Counter app, 1 client, 200 ops, LAN, no faults, 10 s deadline. *)
+
+type result = {
+  cluster : Cp_runtime.Cluster.t;
+  client_handles : (int * Cp_smr.Client.t) list;
+  completed : int;  (** operations completed across clients *)
+  finished : bool;  (** all clients finished before the deadline *)
+  wall : float;  (** simulated time when the run stopped *)
+}
+
+val run : spec -> result
+
+(** {1 Measurement helpers} *)
+
+val machine_ids : result -> int list
+
+val main_ids : result -> int list
+
+val aux_ids : result -> int list
+
+val replica_msgs : result -> kinds:string list -> int
+(** Total messages of the given kinds sent by all machines. *)
+
+val aux_msgs_received : result -> int
+
+val protocol_msgs_per_commit : result -> float
+(** (p2a + p2b + commit) sent across machines, per completed client op. *)
+
+val client_latencies : result -> float list
+
+val throughput : result -> float
+(** completed ops / simulated duration. *)
+
+val safety : result -> (unit, string) Stdlib.result

@@ -1,0 +1,1 @@
+lib/mc/mc.ml: Array Fun Hashtbl List Marshal Option Printf Queue

@@ -1,0 +1,1 @@
+lib/mc/mc_multi.ml: Array Hashtbl List Marshal Printf Queue

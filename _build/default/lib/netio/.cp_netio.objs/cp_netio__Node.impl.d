@@ -1,0 +1,1 @@
+lib/netio/node.ml: Bytes Condition Cp_proto Cp_sim Cp_util Float Fun List Mutex String Thread Unix

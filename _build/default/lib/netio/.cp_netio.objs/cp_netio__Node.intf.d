@@ -1,0 +1,1 @@
+lib/netio/node.mli: Cp_proto Cp_sim

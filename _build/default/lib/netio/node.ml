@@ -1,0 +1,172 @@
+module Engine = Cp_sim.Engine
+module Types = Cp_proto.Types
+module Codec = Cp_proto.Codec
+
+type timer = {
+  deadline : float;
+  tid : int;
+  tag : string;
+  mutable cancelled : bool;
+}
+
+type t = {
+  id : int;
+  sock : Unix.file_descr;
+  addr_of : int -> Unix.sockaddr;
+  id_of_port : int -> int;
+  lock : Mutex.t;
+  cond : Condition.t; (* wakes the timer thread when an earlier timer lands *)
+  mutable timers : timer list; (* sorted by deadline *)
+  mutable next_tid : int;
+  mutable handlers : Types.msg Engine.handlers option;
+  mutable stopping : bool;
+  mutable threads : Thread.t list;
+  start : float;
+}
+
+let now t = Unix.gettimeofday () -. t.start
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let send t dst msg =
+  let payload = Codec.encode msg in
+  try
+    ignore
+      (Unix.sendto t.sock (Bytes.of_string payload) 0 (String.length payload) []
+         (t.addr_of dst))
+  with Unix.Unix_error _ -> () (* unreachable peer = lost datagram *)
+
+let insert_timer t timer =
+  let rec go = function
+    | [] -> [ timer ]
+    | x :: rest as l -> if timer.deadline < x.deadline then timer :: l else x :: go rest
+  in
+  t.timers <- go t.timers
+
+(* Must be called with the lock held. *)
+let set_timer t ?(tag = "") delay =
+  t.next_tid <- t.next_tid + 1;
+  let timer =
+    { deadline = now t +. delay; tid = t.next_tid; tag; cancelled = false }
+  in
+  insert_timer t timer;
+  Condition.signal t.cond;
+  timer.tid
+
+let cancel_timer t tid =
+  List.iter (fun timer -> if timer.tid = tid then timer.cancelled <- true) t.timers
+
+let timer_loop t =
+  Mutex.lock t.lock;
+  while not t.stopping do
+    match t.timers with
+    | [] -> Condition.wait t.cond t.lock
+    | timer :: rest ->
+      let wait = timer.deadline -. now t in
+      if wait > 0. then begin
+        (* Sleep in small slices so cancellation and shutdown stay timely;
+           Condition has no timed wait in the stdlib. *)
+        Mutex.unlock t.lock;
+        Thread.delay (Float.min wait 2e-3);
+        Mutex.lock t.lock
+      end
+      else begin
+        t.timers <- rest;
+        if not timer.cancelled then begin
+          match t.handlers with
+          | Some h -> h.Engine.on_timer ~tid:timer.tid ~tag:timer.tag
+          | None -> ()
+        end
+      end
+  done;
+  Mutex.unlock t.lock
+
+let recv_loop t =
+  let buf = Bytes.create 65536 in
+  let rec loop () =
+    if not t.stopping then begin
+      (* The socket has a receive timeout (set in [create]): closing a UDP
+         socket does not wake a blocked recvfrom on Linux, so the loop must
+         come up for air to observe [stopping]. *)
+      match Unix.recvfrom t.sock buf 0 (Bytes.length buf) [] with
+      | exception Unix.Unix_error ((EBADF | EINTR), _, _) -> ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> loop ()
+      | exception Unix.Unix_error _ -> loop ()
+      | len, peer ->
+        (match Codec.decode (Bytes.sub_string buf 0 len) with
+        | Error _ -> () (* junk datagram: drop *)
+        | Ok msg ->
+          let src =
+            match peer with
+            | Unix.ADDR_INET (_, port) -> t.id_of_port port
+            | Unix.ADDR_UNIX _ -> -1
+          in
+          Mutex.lock t.lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock t.lock)
+            (fun () ->
+              match t.handlers with
+              | Some h -> h.Engine.on_message ~src msg
+              | None -> ()));
+        loop ()
+    end
+  in
+  loop ()
+
+let create ?(host = "127.0.0.1") ~port_of ~id_of_port ~id ~seed ~build () =
+  let inet = Unix.inet_addr_of_string host in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.setsockopt_float sock Unix.SO_RCVTIMEO 0.05;
+  Unix.bind sock (Unix.ADDR_INET (inet, port_of id));
+  let t =
+    {
+      id;
+      sock;
+      addr_of = (fun dst -> Unix.ADDR_INET (inet, port_of dst));
+      id_of_port;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      timers = [];
+      next_tid = 0;
+      handlers = None;
+      stopping = false;
+      threads = [];
+      start = Unix.gettimeofday ();
+    }
+  in
+  let ctx =
+    {
+      Engine.self = id;
+      now = (fun () -> now t);
+      send =
+        (fun dst msg -> send t dst msg);
+      set_timer = (fun ?tag delay -> set_timer t ?tag delay);
+      cancel_timer = (fun tid -> cancel_timer t tid);
+      rng = Cp_util.Rng.create ((seed * 1009) + id);
+      stable = Cp_sim.Stable.create ();
+      metrics = Cp_sim.Metrics.create ();
+      trace = (fun _ -> ());
+    }
+  in
+  Mutex.lock t.lock;
+  t.handlers <- Some (build ctx);
+  Mutex.unlock t.lock;
+  t.threads <- [ Thread.create timer_loop t; Thread.create recv_loop t ];
+  t
+
+let run_for _t seconds = Thread.delay seconds
+
+let shutdown t =
+  if not t.stopping then begin
+    Mutex.lock t.lock;
+    t.stopping <- true;
+    Condition.signal t.cond;
+    Mutex.unlock t.lock;
+    (* Receiver notices [stopping] within its receive timeout; timer thread
+       within its sleep slice. Close only after both have exited. *)
+    List.iter (fun th -> try Thread.join th with _ -> ()) t.threads;
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end

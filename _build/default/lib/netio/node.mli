@@ -1,0 +1,44 @@
+(** Real-network runtime: run any node written against
+    {!Cp_sim.Engine.ctx} — replicas, clients — over actual UDP sockets.
+
+    The simulator's [ctx] is just a record of capabilities, so this module
+    fabricates one backed by the operating system instead of the event
+    queue: [send] encodes with {!Cp_proto.Codec} and writes a datagram,
+    [set_timer] goes through a per-node timer thread, [now] is wall-clock
+    time, and a receiver thread decodes datagrams and invokes the handlers.
+    One mutex per node serializes handler execution, matching the
+    simulator's run-to-completion semantics.
+
+    UDP gives exactly the failure model the protocol is built for: loss,
+    duplication, reordering. Nodes address each other by node id through a
+    [port_of] mapping (loopback by default). This runtime exists to show
+    the protocol stack is not simulator-bound; the simulator remains the
+    substrate for all measurements because it is deterministic. *)
+
+type t
+
+val create :
+  ?host:string ->
+  port_of:(int -> int) ->
+  id_of_port:(int -> int) ->
+  id:int ->
+  seed:int ->
+  build:(Cp_proto.Types.msg Cp_sim.Engine.ctx -> Cp_proto.Types.msg Cp_sim.Engine.handlers) ->
+  unit ->
+  t
+(** Bind [host:port_of id] (default host 127.0.0.1) and start the receiver
+    and timer threads. [id_of_port] inverts [port_of] so that the [src]
+    passed to handlers is a node id (datagrams carry no explicit sender
+    field). [build] receives the fabricated [ctx]; its stable storage is
+    in-memory (per-process), its RNG is seeded from [seed] and [id]. *)
+
+val run_for : t -> float -> unit
+(** Block the calling thread for that many wall-clock seconds while the
+    node keeps serving. *)
+
+val shutdown : t -> unit
+(** Stop threads and close the socket. Idempotent. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Run [f] under the node's handler mutex — for inspecting protocol state
+    owned by the node (e.g. a client handle) without racing its threads. *)

@@ -1,0 +1,1 @@
+lib/proto/ballot.ml: Format Printf Stdlib

@@ -1,0 +1,1 @@
+lib/proto/codec.ml: Ballot Buffer Char Config Int64 List Printf String Types

@@ -1,0 +1,1 @@
+lib/proto/codec.mli: Buffer Types

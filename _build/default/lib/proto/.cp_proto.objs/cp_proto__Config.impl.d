@@ -1,0 +1,1 @@
+lib/proto/config.ml: Fmt Format Fun List

@@ -1,0 +1,29 @@
+module type S = sig
+  type state
+
+  val name : string
+
+  val init : unit -> state
+
+  val apply : state -> string -> string
+
+  val snapshot : state -> string
+
+  val restore : string -> state
+end
+
+type instance = {
+  app_name : string;
+  apply : string -> string;
+  snapshot : unit -> string;
+  restore : string -> unit;
+}
+
+let instantiate (module A : S) =
+  let state = ref (A.init ()) in
+  {
+    app_name = A.name;
+    apply = (fun op -> A.apply !state op);
+    snapshot = (fun () -> A.snapshot !state);
+    restore = (fun s -> state := A.restore s);
+  }

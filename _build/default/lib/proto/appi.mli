@@ -1,0 +1,32 @@
+(** Application interface for the replicated state machine.
+
+    An application is a deterministic function over serialized operations.
+    Replicas hold one {!instance} each; [snapshot]/[restore] support log
+    truncation and state transfer to rejoining mains. Concrete applications
+    live in the [cp_smr] library. *)
+
+module type S = sig
+  type state
+
+  val name : string
+
+  val init : unit -> state
+
+  val apply : state -> string -> string
+  (** Must be deterministic: equal state and op sequences yield equal
+      results on every replica. *)
+
+  val snapshot : state -> string
+
+  val restore : string -> state
+end
+
+(** A first-class, mutable application instance as used by a replica. *)
+type instance = {
+  app_name : string;
+  apply : string -> string;
+  snapshot : unit -> string;
+  restore : string -> unit;
+}
+
+val instantiate : (module S) -> instance

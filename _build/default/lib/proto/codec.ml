@@ -1,0 +1,428 @@
+(* Binary format:
+     msg       := tag:byte payload
+     int       := zig-zag varint (7 bits per byte, MSB = continuation)
+     string    := varint length, bytes
+     ballot    := int int
+     entry     := tag:byte ...
+     list      := varint count, elements
+   Decoding uses a cursor and returns Result; it never raises. *)
+
+(* --- writing ---------------------------------------------------------- *)
+
+let write_varint buf n =
+  (* Zig-zag so that small negative ints (round = -1 in Ballot.bottom) stay
+     short. *)
+  let z = (n lsl 1) lxor (n asr 62) in
+  let rec go z =
+    if z land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr (z land 0x7f))
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (z land 0x7f)));
+      go (z lsr 7)
+    end
+  in
+  go (z land max_int)
+
+let write_string buf s =
+  write_varint buf (String.length s);
+  Buffer.add_string buf s
+
+(* Floats (lease timestamps) travel as raw IEEE-754 bits, little-endian. *)
+let write_float buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xffL)))
+  done
+
+let write_ballot buf (b : Ballot.t) =
+  write_varint buf b.Ballot.round;
+  write_varint buf b.Ballot.leader
+
+let write_reconfig buf = function
+  | Types.Remove_main m ->
+    Buffer.add_char buf '\000';
+    write_varint buf m
+  | Types.Add_main m ->
+    Buffer.add_char buf '\001';
+    write_varint buf m
+
+let write_command buf ({ client; seq; op } : Types.command) =
+  write_varint buf client;
+  write_varint buf seq;
+  write_string buf op
+
+let write_entry buf = function
+  | Types.Noop -> Buffer.add_char buf '\000'
+  | Types.App cmd ->
+    Buffer.add_char buf '\001';
+    write_command buf cmd
+  | Types.Reconfig r ->
+    Buffer.add_char buf '\002';
+    write_reconfig buf r
+  | Types.Batch cmds ->
+    Buffer.add_char buf '\003';
+    write_varint buf (List.length cmds);
+    List.iter (write_command buf) cmds
+
+let write_list buf write xs =
+  write_varint buf (List.length xs);
+  List.iter (write buf) xs
+
+let write_vote buf (v : Types.vote) =
+  write_ballot buf v.Types.vballot;
+  write_entry buf v.Types.ventry
+
+let write_ivote buf (i, v) =
+  write_varint buf i;
+  write_vote buf v
+
+let write_ientry buf (i, e) =
+  write_varint buf i;
+  write_entry buf e
+
+let write_config buf (c : Config.t) =
+  write_varint buf c.Config.epoch;
+  write_list buf write_varint c.Config.mains;
+  write_list buf write_varint c.Config.aux_pool
+
+let write_iconfig buf (i, c) =
+  write_varint buf i;
+  write_config buf c
+
+let write_reply buf (seq, reply) =
+  write_varint buf seq;
+  write_string buf reply
+
+let write_session buf (client, (floor, replies)) =
+  write_varint buf client;
+  write_varint buf floor;
+  write_list buf write_reply replies
+
+let write_snapshot buf (s : Types.snapshot) =
+  write_varint buf s.Types.next_instance;
+  write_string buf s.Types.app_state;
+  write_list buf write_session s.Types.sessions;
+  write_config buf s.Types.base_config;
+  write_list buf write_iconfig s.Types.pending_configs
+
+let encode_into buf (msg : Types.msg) =
+  match msg with
+  | Types.P1a { ballot; low } ->
+    Buffer.add_char buf '\000';
+    write_ballot buf ballot;
+    write_varint buf low
+  | Types.P1b { ballot; from; votes; compacted_upto } ->
+    Buffer.add_char buf '\001';
+    write_ballot buf ballot;
+    write_varint buf from;
+    write_list buf write_ivote votes;
+    write_varint buf compacted_upto
+  | Types.P1Nack { ballot; promised } ->
+    Buffer.add_char buf '\002';
+    write_ballot buf ballot;
+    write_ballot buf promised
+  | Types.P2a { ballot; instance; entry } ->
+    Buffer.add_char buf '\003';
+    write_ballot buf ballot;
+    write_varint buf instance;
+    write_entry buf entry
+  | Types.P2b { ballot; instance; from } ->
+    Buffer.add_char buf '\004';
+    write_ballot buf ballot;
+    write_varint buf instance;
+    write_varint buf from
+  | Types.P2Nack { ballot; instance; promised } ->
+    Buffer.add_char buf '\005';
+    write_ballot buf ballot;
+    write_varint buf instance;
+    write_ballot buf promised
+  | Types.Commit { instance; entry } ->
+    Buffer.add_char buf '\006';
+    write_varint buf instance;
+    write_entry buf entry
+  | Types.CommitFloor { upto } ->
+    Buffer.add_char buf '\007';
+    write_varint buf upto
+  | Types.Heartbeat { ballot; commit_floor; sent_at } ->
+    Buffer.add_char buf '\008';
+    write_ballot buf ballot;
+    write_varint buf commit_floor;
+    write_float buf sent_at
+  | Types.HeartbeatAck { ballot; from; prefix; echo } ->
+    Buffer.add_char buf '\009';
+    write_ballot buf ballot;
+    write_varint buf from;
+    write_varint buf prefix;
+    write_float buf echo
+  | Types.CatchupReq { from; from_instance } ->
+    Buffer.add_char buf '\010';
+    write_varint buf from;
+    write_varint buf from_instance
+  | Types.CatchupResp { entries; snapshot } ->
+    Buffer.add_char buf '\011';
+    write_list buf write_ientry entries;
+    (match snapshot with
+    | None -> Buffer.add_char buf '\000'
+    | Some s ->
+      Buffer.add_char buf '\001';
+      write_snapshot buf s)
+  | Types.JoinReq { from } ->
+    Buffer.add_char buf '\012';
+    write_varint buf from
+  | Types.ClientReq { client; seq; op } ->
+    Buffer.add_char buf '\013';
+    write_varint buf client;
+    write_varint buf seq;
+    write_string buf op
+  | Types.ClientResp { client; seq; result } ->
+    Buffer.add_char buf '\014';
+    write_varint buf client;
+    write_varint buf seq;
+    write_string buf result
+  | Types.Redirect { leader_hint } ->
+    Buffer.add_char buf '\015';
+    write_varint buf leader_hint
+  | Types.ClientRead { client; seq; op } ->
+    Buffer.add_char buf '\016';
+    write_varint buf client;
+    write_varint buf seq;
+    write_string buf op
+
+let encode msg =
+  let buf = Buffer.create 64 in
+  encode_into buf msg;
+  Buffer.contents buf
+
+(* --- reading ------------------------------------------------------------ *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let read_varint s ~pos =
+  let n = String.length s in
+  let rec go pos shift acc =
+    if pos >= n then Error "varint: truncated"
+    else if shift > 62 then Error "varint: too long"
+    else begin
+      let byte = Char.code s.[pos] in
+      let acc = acc lor ((byte land 0x7f) lsl shift) in
+      if byte land 0x80 = 0 then begin
+        (* Un-zig-zag. *)
+        let v = (acc lsr 1) lxor (-(acc land 1)) in
+        Ok (v, pos + 1)
+      end
+      else go (pos + 1) (shift + 7) acc
+    end
+  in
+  go pos 0 0
+
+let read_string s ~pos =
+  let* len, pos = read_varint s ~pos in
+  if len < 0 || pos + len > String.length s then Error "string: truncated"
+  else Ok (String.sub s pos len, pos + len)
+
+let read_float s ~pos =
+  if pos + 8 > String.length s then Error "float: truncated"
+  else begin
+    let bits = ref 0L in
+    for i = 7 downto 0 do
+      bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code s.[pos + i]))
+    done;
+    Ok (Int64.float_of_bits !bits, pos + 8)
+  end
+
+let read_ballot s ~pos =
+  let* round, pos = read_varint s ~pos in
+  let* leader, pos = read_varint s ~pos in
+  Ok (Ballot.make ~round ~leader, pos)
+
+let read_tag s ~pos =
+  if pos >= String.length s then Error "tag: truncated"
+  else Ok (Char.code s.[pos], pos + 1)
+
+let read_reconfig s ~pos =
+  let* tag, pos = read_tag s ~pos in
+  let* m, pos = read_varint s ~pos in
+  match tag with
+  | 0 -> Ok (Types.Remove_main m, pos)
+  | 1 -> Ok (Types.Add_main m, pos)
+  | t -> Error (Printf.sprintf "reconfig: bad tag %d" t)
+
+let read_command s ~pos =
+  let* client, pos = read_varint s ~pos in
+  let* seq, pos = read_varint s ~pos in
+  let* op, pos = read_string s ~pos in
+  Ok (({ client; seq; op } : Types.command), pos)
+
+let read_entry s ~pos =
+  let* tag, pos = read_tag s ~pos in
+  match tag with
+  | 0 -> Ok (Types.Noop, pos)
+  | 1 ->
+    let* cmd, pos = read_command s ~pos in
+    Ok (Types.App cmd, pos)
+  | 2 ->
+    let* r, pos = read_reconfig s ~pos in
+    Ok (Types.Reconfig r, pos)
+  | 3 ->
+    let* count, pos = read_varint s ~pos in
+    if count < 0 || count > String.length s then Error "batch: bad count"
+    else begin
+      let rec go i pos acc =
+        if i = count then Ok (Types.Batch (List.rev acc), pos)
+        else
+          let* cmd, pos = read_command s ~pos in
+          go (i + 1) pos (cmd :: acc)
+      in
+      go 0 pos []
+    end
+  | t -> Error (Printf.sprintf "entry: bad tag %d" t)
+
+let read_list read s ~pos =
+  let* count, pos = read_varint s ~pos in
+  if count < 0 || count > String.length s then Error "list: bad count"
+  else begin
+    let rec go i pos acc =
+      if i = count then Ok (List.rev acc, pos)
+      else
+        let* x, pos = read s ~pos in
+        go (i + 1) pos (x :: acc)
+    in
+    go 0 pos []
+  end
+
+let read_vote s ~pos =
+  let* vballot, pos = read_ballot s ~pos in
+  let* ventry, pos = read_entry s ~pos in
+  Ok ({ Types.vballot; ventry }, pos)
+
+let read_ivote s ~pos =
+  let* i, pos = read_varint s ~pos in
+  let* v, pos = read_vote s ~pos in
+  Ok ((i, v), pos)
+
+let read_ientry s ~pos =
+  let* i, pos = read_varint s ~pos in
+  let* e, pos = read_entry s ~pos in
+  Ok ((i, e), pos)
+
+let read_config s ~pos =
+  let* epoch, pos = read_varint s ~pos in
+  let* mains, pos = read_list read_varint s ~pos in
+  let* aux_pool, pos = read_list read_varint s ~pos in
+  match Config.make ~epoch ~mains ~aux_pool with
+  | cfg -> Ok (cfg, pos)
+  | exception Invalid_argument m -> Error ("config: " ^ m)
+
+let read_iconfig s ~pos =
+  let* i, pos = read_varint s ~pos in
+  let* c, pos = read_config s ~pos in
+  Ok ((i, c), pos)
+
+let read_reply s ~pos =
+  let* seq, pos = read_varint s ~pos in
+  let* reply, pos = read_string s ~pos in
+  Ok ((seq, reply), pos)
+
+let read_session s ~pos =
+  let* client, pos = read_varint s ~pos in
+  let* floor, pos = read_varint s ~pos in
+  let* replies, pos = read_list read_reply s ~pos in
+  Ok ((client, (floor, replies)), pos)
+
+let read_snapshot s ~pos =
+  let* next_instance, pos = read_varint s ~pos in
+  let* app_state, pos = read_string s ~pos in
+  let* sessions, pos = read_list read_session s ~pos in
+  let* base_config, pos = read_config s ~pos in
+  let* pending_configs, pos = read_list read_iconfig s ~pos in
+  Ok ({ Types.next_instance; app_state; sessions; base_config; pending_configs }, pos)
+
+let decode s =
+  let result =
+    let* tag, pos = read_tag s ~pos:0 in
+    match tag with
+    | 0 ->
+      let* ballot, pos = read_ballot s ~pos in
+      let* low, pos = read_varint s ~pos in
+      Ok (Types.P1a { ballot; low }, pos)
+    | 1 ->
+      let* ballot, pos = read_ballot s ~pos in
+      let* from, pos = read_varint s ~pos in
+      let* votes, pos = read_list read_ivote s ~pos in
+      let* compacted_upto, pos = read_varint s ~pos in
+      Ok (Types.P1b { ballot; from; votes; compacted_upto }, pos)
+    | 2 ->
+      let* ballot, pos = read_ballot s ~pos in
+      let* promised, pos = read_ballot s ~pos in
+      Ok (Types.P1Nack { ballot; promised }, pos)
+    | 3 ->
+      let* ballot, pos = read_ballot s ~pos in
+      let* instance, pos = read_varint s ~pos in
+      let* entry, pos = read_entry s ~pos in
+      Ok (Types.P2a { ballot; instance; entry }, pos)
+    | 4 ->
+      let* ballot, pos = read_ballot s ~pos in
+      let* instance, pos = read_varint s ~pos in
+      let* from, pos = read_varint s ~pos in
+      Ok (Types.P2b { ballot; instance; from }, pos)
+    | 5 ->
+      let* ballot, pos = read_ballot s ~pos in
+      let* instance, pos = read_varint s ~pos in
+      let* promised, pos = read_ballot s ~pos in
+      Ok (Types.P2Nack { ballot; instance; promised }, pos)
+    | 6 ->
+      let* instance, pos = read_varint s ~pos in
+      let* entry, pos = read_entry s ~pos in
+      Ok (Types.Commit { instance; entry }, pos)
+    | 7 ->
+      let* upto, pos = read_varint s ~pos in
+      Ok (Types.CommitFloor { upto }, pos)
+    | 8 ->
+      let* ballot, pos = read_ballot s ~pos in
+      let* commit_floor, pos = read_varint s ~pos in
+      let* sent_at, pos = read_float s ~pos in
+      Ok (Types.Heartbeat { ballot; commit_floor; sent_at }, pos)
+    | 9 ->
+      let* ballot, pos = read_ballot s ~pos in
+      let* from, pos = read_varint s ~pos in
+      let* prefix, pos = read_varint s ~pos in
+      let* echo, pos = read_float s ~pos in
+      Ok (Types.HeartbeatAck { ballot; from; prefix; echo }, pos)
+    | 10 ->
+      let* from, pos = read_varint s ~pos in
+      let* from_instance, pos = read_varint s ~pos in
+      Ok (Types.CatchupReq { from; from_instance }, pos)
+    | 11 ->
+      let* entries, pos = read_list read_ientry s ~pos in
+      let* flag, pos = read_tag s ~pos in
+      if flag = 0 then Ok (Types.CatchupResp { entries; snapshot = None }, pos)
+      else
+        let* snap, pos = read_snapshot s ~pos in
+        Ok (Types.CatchupResp { entries; snapshot = Some snap }, pos)
+    | 12 ->
+      let* from, pos = read_varint s ~pos in
+      Ok (Types.JoinReq { from }, pos)
+    | 13 ->
+      let* client, pos = read_varint s ~pos in
+      let* seq, pos = read_varint s ~pos in
+      let* op, pos = read_string s ~pos in
+      Ok (Types.ClientReq { client; seq; op }, pos)
+    | 14 ->
+      let* client, pos = read_varint s ~pos in
+      let* seq, pos = read_varint s ~pos in
+      let* result, pos = read_string s ~pos in
+      Ok (Types.ClientResp { client; seq; result }, pos)
+    | 15 ->
+      let* leader_hint, pos = read_varint s ~pos in
+      Ok (Types.Redirect { leader_hint }, pos)
+    | 16 ->
+      let* client, pos = read_varint s ~pos in
+      let* seq, pos = read_varint s ~pos in
+      let* op, pos = read_string s ~pos in
+      Ok (Types.ClientRead { client; seq; op }, pos)
+    | t -> Error (Printf.sprintf "msg: bad tag %d" t)
+  in
+  match result with
+  | Error _ as e -> e
+  | Ok (msg, pos) ->
+    if pos = String.length s then Ok msg else Error "msg: trailing bytes"

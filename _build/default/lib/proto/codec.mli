@@ -1,0 +1,24 @@
+(** Binary wire codec for {!Types.msg}.
+
+    A compact, self-describing binary format: one tag byte per constructor,
+    varint-encoded integers, length-prefixed strings. The simulator does not
+    need it (messages travel as OCaml values), but the real-socket transport
+    ([cp_netio]) does, and it pins down an actual wire format — {!Types.size_of}
+    is validated against it in the test suite.
+
+    Decoding is total: any input either decodes or yields [Error _]; decoding
+    never raises. *)
+
+val encode : Types.msg -> string
+
+val decode : string -> (Types.msg, string) result
+
+val encode_into : Buffer.t -> Types.msg -> unit
+
+(** {1 Primitives} (exposed for tests) *)
+
+val write_varint : Buffer.t -> int -> unit
+(** Zig-zag varint; handles negative values. *)
+
+val read_varint : string -> pos:int -> (int * int, string) result
+(** Returns (value, next position). *)

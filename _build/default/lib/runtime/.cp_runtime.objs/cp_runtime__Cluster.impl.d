@@ -1,0 +1,1 @@
+lib/runtime/cluster.ml: Config Cp_engine Cp_proto Cp_sim Cp_smr Hashtbl List Option Printf Types

@@ -1,0 +1,1 @@
+lib/runtime/cluster.mli: Appi Config Cp_engine Cp_proto Cp_sim Cp_smr Types

@@ -1,0 +1,1 @@
+lib/runtime/inspect.ml: Cluster Cp_checker Cp_engine Cp_sim List

@@ -1,0 +1,1 @@
+lib/runtime/inspect.mli: Cluster Cp_checker

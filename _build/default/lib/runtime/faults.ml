@@ -1,0 +1,28 @@
+module Engine = Cp_sim.Engine
+
+type event =
+  | Crash of int
+  | Restart of int
+  | Restart_wiped of int
+  | Partition of int list list
+  | Heal
+
+let apply cluster = function
+  | Crash id -> Cluster.crash cluster id
+  | Restart id -> Cluster.restart cluster id
+  | Restart_wiped id -> Cluster.restart cluster ~wipe:true id
+  | Partition groups ->
+    let eng = Cluster.engine cluster in
+    let group_of id =
+      let rec find i = function
+        | [] -> -1 (* implicit last group *)
+        | g :: rest -> if List.mem id g then i else find (i + 1) rest
+      in
+      find 0 groups
+    in
+    Engine.set_reachable eng (fun src dst -> group_of src = group_of dst)
+  | Heal -> Engine.set_reachable (Cluster.engine cluster) (fun _ _ -> true)
+
+let schedule cluster script =
+  let eng = Cluster.engine cluster in
+  List.iter (fun (time, ev) -> Engine.at eng time (fun () -> apply cluster ev)) script

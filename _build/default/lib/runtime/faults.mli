@@ -1,0 +1,14 @@
+(** Scripted fault injection: the experiment schedule is data, so every run
+    is reproducible and DESIGN.md can describe scenarios declaratively. *)
+
+type event =
+  | Crash of int
+  | Restart of int  (** reboot with stable storage intact *)
+  | Restart_wiped of int  (** replacement machine: empty disk, same id *)
+  | Partition of int list list
+      (** machines in the same group can talk; across groups they cannot.
+          Machines absent from every group form an implicit last group. *)
+  | Heal
+
+val schedule : Cluster.t -> (float * event) list -> unit
+(** Install the script; each event fires at its absolute simulated time. *)

@@ -1,0 +1,36 @@
+module Replica = Cp_engine.Replica
+module Consistency = Cp_checker.Consistency
+module Engine = Cp_sim.Engine
+
+let dump cluster id =
+  let r = Cluster.replica cluster id in
+  {
+    Consistency.node = id;
+    base = Replica.log_base r;
+    entries = Replica.log_range r ~lo:(Replica.log_base r) ~hi:max_int;
+  }
+
+let dumps cluster =
+  Cluster.mains cluster
+  |> List.filter (Engine.is_up (Cluster.engine cluster))
+  |> List.map (dump cluster)
+
+let check_safety cluster =
+  let up_mains =
+    Cluster.mains cluster |> List.filter (Engine.is_up (Cluster.engine cluster))
+  in
+  let ds = List.map (dump cluster) up_mains in
+  let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  Consistency.agreement ds >>= fun () ->
+  Consistency.command_uniqueness ds >>= fun () ->
+  Consistency.configs_agree
+    (List.map
+       (fun id -> (id, Replica.config_timeline (Cluster.replica cluster id)))
+       up_mains)
+  >>= fun () ->
+  List.fold_left
+    (fun acc id ->
+      acc >>= fun () ->
+      let r = Cluster.replica cluster id in
+      Consistency.no_gaps_below_executed (dump cluster id) ~executed:(Replica.executed r))
+    (Ok ()) up_mains

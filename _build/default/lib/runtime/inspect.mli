@@ -1,0 +1,12 @@
+(** Extract checker inputs from a live cluster and run the standard safety
+    battery. Used after every test/experiment run. *)
+
+val dump : Cluster.t -> int -> Cp_checker.Consistency.dump
+(** Log dump of one main machine's current replica. *)
+
+val dumps : Cluster.t -> Cp_checker.Consistency.dump list
+(** Dumps of all {e up} main machines. *)
+
+val check_safety : Cluster.t -> (unit, string) result
+(** Agreement across logs, configuration-timeline agreement, per-command
+    payload uniqueness, and no execution gaps — over all up mains. *)

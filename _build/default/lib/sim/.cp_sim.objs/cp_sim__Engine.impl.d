@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Cp_util Float Hashtbl List Metrics Netmodel Printf Stable

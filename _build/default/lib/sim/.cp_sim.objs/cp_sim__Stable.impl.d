@@ -1,0 +1,1 @@
+lib/sim/stable.ml: Hashtbl List Marshal String

@@ -1,0 +1,269 @@
+module Rng = Cp_util.Rng
+module Heap = Cp_util.Heap
+
+type 'm ctx = {
+  self : int;
+  now : unit -> float;
+  send : int -> 'm -> unit;
+  set_timer : ?tag:string -> float -> int;
+  cancel_timer : int -> unit;
+  rng : Rng.t;
+  stable : Stable.t;
+  metrics : Metrics.t;
+  trace : string -> unit;
+}
+
+type 'm handlers = {
+  on_message : src:int -> 'm -> unit;
+  on_timer : tid:int -> tag:string -> unit;
+}
+
+type 'm node = {
+  id : int;
+  builder : 'm ctx -> 'm handlers;
+  mutable handlers : 'm handlers option; (* None = down *)
+  mutable epoch : int; (* bumped on crash to invalidate timers *)
+  mutable busy_until : float; (* single-CPU service model; see [proc_time] *)
+  cancelled : (int, unit) Hashtbl.t;
+  node_rng : Rng.t;
+  node_stable : Stable.t;
+  node_metrics : Metrics.t;
+  mutable ctx : 'm ctx option;
+}
+
+type 'm kind =
+  | Deliver of { src : int; dst : int; msg : 'm; size : int }
+  | Timer of { node : int; tid : int; tag : string; epoch : int }
+  | Action of (unit -> unit)
+
+type 'm event = { time : float; seq : int; kind : 'm kind }
+
+type 'm t = {
+  mutable time : float;
+  mutable seq : int;
+  mutable next_tid : int;
+  queue : 'm event Heap.t;
+  nodes : (int, 'm node) Hashtbl.t;
+  engine_rng : Rng.t;
+  net : Netmodel.t;
+  proc_time : ('m -> float) option;
+  size_of : 'm -> int;
+  classify : 'm -> string;
+  mutable reachable : int -> int -> bool;
+  mutable processed : int;
+  mutable tracer : (float -> int -> string -> unit) option;
+}
+
+let event_cmp (a : _ event) (b : _ event) =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?(seed = 1) ?(net = Netmodel.lan) ?proc_time ~size_of ~classify () =
+  {
+    time = 0.;
+    seq = 0;
+    next_tid = 0;
+    queue = Heap.create ~cmp:event_cmp;
+    nodes = Hashtbl.create 16;
+    engine_rng = Rng.create seed;
+    net;
+    proc_time;
+    size_of;
+    classify;
+    reachable = (fun _ _ -> true);
+    processed = 0;
+    tracer = None;
+  }
+
+let now t = t.time
+
+let events_processed t = t.processed
+
+let rng t = t.engine_rng
+
+let set_tracer t f = t.tracer <- Some f
+
+let set_reachable t f = t.reachable <- f
+
+let node_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort compare
+
+let find_node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Engine: unknown node %d" id)
+
+let metrics t id = (find_node t id).node_metrics
+
+let stable t id = (find_node t id).node_stable
+
+let push t time kind =
+  t.seq <- t.seq + 1;
+  Heap.push t.queue { time; seq = t.seq; kind }
+
+let at t time f = push t (max time t.time) (Action f)
+
+let after t delay f = at t (t.time +. delay) f
+
+let is_up t id = (find_node t id).handlers <> None
+
+(* Sending: consult partition and network model now; the partition is
+   re-checked at delivery time as well. *)
+let do_send t node dst msg =
+  let kind = t.classify msg in
+  let size = t.size_of msg in
+  (match t.proc_time with
+  | Some cost -> node.busy_until <- Float.max node.busy_until t.time +. cost msg
+  | None -> ());
+  Metrics.incr node.node_metrics "msgs_sent";
+  Metrics.incr node.node_metrics ~by:size "bytes_sent";
+  Metrics.incr node.node_metrics ("sent." ^ kind);
+  if t.reachable node.id dst then begin
+    match Netmodel.sample_delay t.net t.engine_rng with
+    | None -> ()
+    | Some d ->
+      push t (t.time +. d) (Deliver { src = node.id; dst; msg; size });
+      if Netmodel.sample_duplicate t.net t.engine_rng then begin
+        match Netmodel.sample_delay t.net t.engine_rng with
+        | None -> ()
+        | Some d' -> push t (t.time +. d') (Deliver { src = node.id; dst; msg; size })
+      end
+  end
+
+let make_ctx t node =
+  let trace line =
+    match t.tracer with Some f -> f t.time node.id line | None -> ()
+  in
+  let set_timer ?(tag = "") delay =
+    t.next_tid <- t.next_tid + 1;
+    let tid = t.next_tid in
+    push t (t.time +. delay) (Timer { node = node.id; tid; tag; epoch = node.epoch });
+    tid
+  in
+  {
+    self = node.id;
+    now = (fun () -> t.time);
+    send = (fun dst msg -> do_send t node dst msg);
+    set_timer;
+    cancel_timer = (fun tid -> Hashtbl.replace node.cancelled tid ());
+    rng = node.node_rng;
+    stable = node.node_stable;
+    metrics = node.node_metrics;
+    trace;
+  }
+
+let start_node t node =
+  let ctx =
+    match node.ctx with
+    | Some c -> c
+    | None ->
+      let c = make_ctx t node in
+      node.ctx <- Some c;
+      c
+  in
+  node.handlers <- Some (node.builder ctx)
+
+let add_node t ~id builder =
+  if Hashtbl.mem t.nodes id then
+    invalid_arg (Printf.sprintf "Engine.add_node: duplicate id %d" id);
+  let node =
+    {
+      id;
+      builder;
+      handlers = None;
+      epoch = 0;
+      busy_until = 0.;
+      cancelled = Hashtbl.create 8;
+      node_rng = Rng.split t.engine_rng;
+      node_stable = Stable.create ();
+      node_metrics = Metrics.create ();
+      ctx = None;
+    }
+  in
+  Hashtbl.add t.nodes id node;
+  (* Start within the event loop so adding nodes mid-run is well ordered. *)
+  push t t.time (Action (fun () -> start_node t node))
+
+let crash t id =
+  let node = find_node t id in
+  match node.handlers with
+  | None -> ()
+  | Some _ ->
+    node.handlers <- None;
+    node.epoch <- node.epoch + 1;
+    Hashtbl.reset node.cancelled;
+    Metrics.incr node.node_metrics "crashes"
+
+let restart t ?(wipe_stable = false) id =
+  let node = find_node t id in
+  match node.handlers with
+  | Some _ -> ()
+  | None ->
+    if wipe_stable then Stable.wipe node.node_stable;
+    Metrics.incr node.node_metrics "restarts";
+    start_node t node
+
+let handle_event t ev =
+  match ev.kind with
+  | Action f -> f ()
+  | Deliver { src; dst; msg; size } -> begin
+    match Hashtbl.find_opt t.nodes dst with
+    | None -> ()
+    | Some node -> begin
+      match node.handlers with
+      | None -> () (* node down: message lost *)
+      | Some h ->
+        if t.reachable src dst then begin
+          match t.proc_time with
+          | Some cost when node.busy_until > t.time ->
+            (* The node's CPU is busy: queue the message until it frees up. *)
+            ignore cost;
+            push t node.busy_until (Deliver { src; dst; msg; size })
+          | _ ->
+            (match t.proc_time with
+            | Some cost -> node.busy_until <- t.time +. cost msg
+            | None -> ());
+            Metrics.incr node.node_metrics "msgs_recv";
+            Metrics.incr node.node_metrics ~by:size "bytes_recv";
+            Metrics.incr node.node_metrics ("recv." ^ t.classify msg);
+            h.on_message ~src msg
+        end
+    end
+  end
+  | Timer { node = id; tid; tag; epoch } -> begin
+    match Hashtbl.find_opt t.nodes id with
+    | None -> ()
+    | Some node -> begin
+      match node.handlers with
+      | None -> ()
+      | Some h ->
+        if node.epoch = epoch then begin
+          if Hashtbl.mem node.cancelled tid then Hashtbl.remove node.cancelled tid
+          else h.on_timer ~tid ~tag
+        end
+    end
+  end
+
+let run ?until ?(max_events = 50_000_000) t =
+  let continue = ref true in
+  while !continue do
+    if t.processed >= max_events then continue := false
+    else begin
+      match Heap.peek t.queue with
+      | None -> continue := false
+      | Some ev -> begin
+        match until with
+        | Some stop when ev.time > stop ->
+          t.time <- stop;
+          continue := false
+        | _ ->
+          ignore (Heap.pop t.queue);
+          t.time <- max t.time ev.time;
+          t.processed <- t.processed + 1;
+          handle_event t ev
+      end
+    end
+  done;
+  match until with
+  | Some stop when t.time < stop && Heap.is_empty t.queue -> t.time <- stop
+  | _ -> ()

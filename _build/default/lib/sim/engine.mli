@@ -1,0 +1,99 @@
+(** Deterministic discrete-event engine.
+
+    Nodes (replicas {e and} clients) are registered with a builder function
+    that receives a {!ctx} and returns message/timer handlers. The engine
+    owns virtual time, a single seeded RNG tree, the network model, and
+    per-node metrics and stable storage. Crashing a node discards its
+    volatile state (the closures built by the builder) and invalidates its
+    timers; restarting calls the builder again, so the node recovers only
+    what it reads back from {!Stable}.
+
+    Two runs with the same seed, nodes, and fault schedule produce identical
+    event sequences — ties in virtual time are broken by sequence number. *)
+
+type 'm t
+
+(** Capabilities handed to a node. [rng], [stable] and [metrics] persist
+    across restarts of the node; handlers do not. *)
+type 'm ctx = {
+  self : int;
+  now : unit -> float;
+  send : int -> 'm -> unit;
+  set_timer : ?tag:string -> float -> int;
+      (** [set_timer ~tag d] fires [on_timer] after [d] seconds unless
+          cancelled or the node crashes first; returns a timer id. *)
+  cancel_timer : int -> unit;
+  rng : Cp_util.Rng.t;
+  stable : Stable.t;
+  metrics : Metrics.t;
+  trace : string -> unit;  (** debug trace line, routed to the tracer if set *)
+}
+
+type 'm handlers = {
+  on_message : src:int -> 'm -> unit;
+  on_timer : tid:int -> tag:string -> unit;
+}
+
+val create :
+  ?seed:int ->
+  ?net:Netmodel.t ->
+  ?proc_time:('m -> float) ->
+  size_of:('m -> int) ->
+  classify:('m -> string) ->
+  unit ->
+  'm t
+(** [classify] names a message kind for per-kind metrics
+    (["sent.<kind>"] / ["recv.<kind>"]); [size_of] estimates wire size for
+    byte counters. Default [seed] is 1, default network {!Netmodel.lan}.
+
+    [proc_time] models per-node CPU capacity: each message costs that many
+    seconds of the node's (single) processor, both to send and to receive.
+    A message arriving at a busy node queues until the node is free, so
+    nodes saturate — without it (the default) nodes have infinite capacity
+    and throughput scales without bound. *)
+
+val add_node : 'm t -> id:int -> ('m ctx -> 'm handlers) -> unit
+(** Register and start a node. Ids must be unique; they need not be dense. *)
+
+val crash : 'm t -> int -> unit
+(** Take a node down: volatile state and pending timers are lost; in-flight
+    messages to it will be dropped. Stable storage survives. No-op if the
+    node is already down. *)
+
+val restart : 'm t -> ?wipe_stable:bool -> int -> unit
+(** Bring a crashed node back by re-running its builder. [wipe_stable]
+    models a replacement machine with an empty disk. No-op if up. *)
+
+val is_up : 'm t -> int -> bool
+
+val at : 'm t -> float -> (unit -> unit) -> unit
+(** Schedule an engine action (fault injection, probe) at an absolute time.
+    Actions run after message/timer events scheduled at the same instant. *)
+
+val after : 'm t -> float -> (unit -> unit) -> unit
+(** Relative form of {!at}. *)
+
+val set_reachable : 'm t -> (int -> int -> bool) -> unit
+(** Install a partition predicate [reachable src dst]; checked at send and at
+    delivery, so healing a partition does not resurrect in-flight messages.
+    Default: always reachable. *)
+
+val run : ?until:float -> ?max_events:int -> 'm t -> unit
+(** Process events until the queue empties, virtual time exceeds [until], or
+    [max_events] have been processed (a livelock guard, default 50M). *)
+
+val now : 'm t -> float
+
+val events_processed : 'm t -> int
+
+val node_ids : 'm t -> int list
+
+val metrics : 'm t -> int -> Metrics.t
+
+val stable : 'm t -> int -> Stable.t
+
+val rng : 'm t -> Cp_util.Rng.t
+(** The engine-level RNG (distinct from any node's). *)
+
+val set_tracer : 'm t -> (float -> int -> string -> unit) -> unit
+(** Receive every [ctx.trace] line as [(time, node, line)]. *)

@@ -1,0 +1,36 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  series : (string, float list ref) Hashtbl.t; (* reversed *)
+}
+
+let create () = { counters = Hashtbl.create 32; series = Hashtbl.create 8 }
+
+let incr t ?(by = 1) name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let get t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let observe t name x =
+  match Hashtbl.find_opt t.series name with
+  | Some r -> r := x :: !r
+  | None -> Hashtbl.add t.series name (ref [ x ])
+
+let series t name =
+  match Hashtbl.find_opt t.series name with Some r -> List.rev !r | None -> []
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.series
+
+let sum_matching t ~prefix =
+  let starts_with p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  Hashtbl.fold (fun k r acc -> if starts_with prefix k then acc + !r else acc) t.counters 0

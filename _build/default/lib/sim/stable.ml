@@ -1,0 +1,32 @@
+type t = {
+  data : (string, string) Hashtbl.t;
+  mutable writes : int;
+  mutable traffic : int;
+}
+
+let create () = { data = Hashtbl.create 16; writes = 0; traffic = 0 }
+
+let put t key v =
+  let s = Marshal.to_string v [] in
+  Hashtbl.replace t.data key s;
+  t.writes <- t.writes + 1;
+  t.traffic <- t.traffic + String.length s
+
+let get t key =
+  match Hashtbl.find_opt t.data key with
+  | None -> None
+  | Some s -> Some (Marshal.from_string s 0)
+
+let remove t key = Hashtbl.remove t.data key
+
+let mem t key = Hashtbl.mem t.data key
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.data [] |> List.sort String.compare
+
+let bytes_used t = Hashtbl.fold (fun _ s acc -> acc + String.length s) t.data 0
+
+let write_count t = t.writes
+
+let bytes_written t = t.traffic
+
+let wipe t = Hashtbl.reset t.data

@@ -1,0 +1,38 @@
+(** Simulated per-node stable storage.
+
+    Paxos acceptors must persist promises and votes across crashes; main
+    processors also persist their log. This module models a disk: contents
+    survive {!Engine.crash}/{!Engine.restart}, and every write is counted so
+    experiments can report stable-storage traffic and footprint (the paper's
+    claim that auxiliaries need only a small amount of storage, E5).
+
+    Values are stored via [Marshal]; [get] is only type-safe if the caller
+    reads back at the type it wrote — standard practice for this kind of
+    in-process store, and all call sites live in this repository. *)
+
+type t
+
+val create : unit -> t
+
+val put : t -> string -> 'a -> unit
+(** Persist [v] under [key], overwriting any previous value. *)
+
+val get : t -> string -> 'a option
+
+val remove : t -> string -> unit
+
+val mem : t -> string -> bool
+
+val keys : t -> string list
+
+val bytes_used : t -> int
+(** Current footprint: sum of serialized sizes of all live keys. *)
+
+val write_count : t -> int
+(** Total number of [put] calls over the node's lifetime. *)
+
+val bytes_written : t -> int
+(** Total serialized bytes across all [put] calls (write traffic). *)
+
+val wipe : t -> unit
+(** Erase everything — models a disk loss / replacement machine. *)

@@ -1,0 +1,1 @@
+lib/smr/bank.ml: Hashtbl Marshal Printf String

@@ -1,0 +1,1 @@
+lib/smr/bank.mli: Cp_proto

@@ -1,0 +1,1 @@
+lib/smr/client.ml: Array Cp_proto Cp_sim List Option Types

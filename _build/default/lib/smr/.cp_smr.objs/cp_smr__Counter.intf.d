@@ -1,0 +1,1 @@
+lib/smr/counter.mli: Cp_proto

@@ -1,0 +1,1 @@
+lib/smr/fifo.ml: List Marshal String

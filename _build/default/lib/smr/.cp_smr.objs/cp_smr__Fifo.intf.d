@@ -1,0 +1,1 @@
+lib/smr/fifo.mli: Cp_proto

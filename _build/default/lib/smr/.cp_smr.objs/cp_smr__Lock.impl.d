@@ -1,0 +1,1 @@
+lib/smr/lock.ml: Hashtbl Marshal Printf String

@@ -1,0 +1,1 @@
+lib/smr/lock.mli: Cp_proto

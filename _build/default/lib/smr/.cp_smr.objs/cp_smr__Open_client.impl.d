@@ -1,0 +1,1 @@
+lib/smr/open_client.ml: Array Cp_proto Cp_sim Cp_util Hashtbl String Types

@@ -1,0 +1,1 @@
+lib/smr/open_client.mli: Cp_proto Cp_sim Types

@@ -1,0 +1,35 @@
+(* Two-list functional queue so snapshots marshal structurally. *)
+type state = { mutable front : string list; mutable back : string list }
+
+let name = "fifo"
+
+let init () = { front = []; back = [] }
+
+let apply (s : state) op =
+  match String.split_on_char ' ' op with
+  | [ "PUSH"; v ] ->
+    s.back <- v :: s.back;
+    "OK"
+  | [ "POP" ] -> (
+    (match s.front with
+    | [] ->
+      s.front <- List.rev s.back;
+      s.back <- []
+    | _ :: _ -> ());
+    match s.front with
+    | [] -> "EMPTY"
+    | v :: rest ->
+      s.front <- rest;
+      v)
+  | [ "LEN" ] -> string_of_int (List.length s.front + List.length s.back)
+  | _ -> "ERR"
+
+let snapshot (s : state) = Marshal.to_string s []
+
+let restore str : state = Marshal.from_string str 0
+
+let push v = "PUSH " ^ v
+
+let pop = "POP"
+
+let len = "LEN"

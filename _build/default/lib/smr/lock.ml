@@ -1,0 +1,34 @@
+type state = (string, string) Hashtbl.t (* lock -> owner *)
+
+let name = "lock"
+
+let init () : state = Hashtbl.create 16
+
+let apply (s : state) op =
+  match String.split_on_char ' ' op with
+  | [ "ACQUIRE"; owner; lock ] -> (
+    match Hashtbl.find_opt s lock with
+    | None ->
+      Hashtbl.replace s lock owner;
+      "OK"
+    | Some o when o = owner -> "OK"
+    | Some o -> "BUSY " ^ o)
+  | [ "RELEASE"; owner; lock ] -> (
+    match Hashtbl.find_opt s lock with
+    | Some o when o = owner ->
+      Hashtbl.remove s lock;
+      "OK"
+    | Some _ | None -> "FAIL")
+  | [ "HOLDER"; lock ] -> (
+    match Hashtbl.find_opt s lock with Some o -> o | None -> "NONE")
+  | _ -> "ERR"
+
+let snapshot (s : state) = Marshal.to_string s []
+
+let restore str : state = Marshal.from_string str 0
+
+let acquire ~owner lock = Printf.sprintf "ACQUIRE %s %s" owner lock
+
+let release ~owner lock = Printf.sprintf "RELEASE %s %s" owner lock
+
+let holder lock = "HOLDER " ^ lock

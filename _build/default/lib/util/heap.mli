@@ -1,0 +1,24 @@
+(** Minimal binary min-heap, used as the simulator's event queue.
+
+    Elements are ordered by a user-supplied comparison. The heap is mutable
+    and amortises to O(log n) push/pop. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element, or [None] if empty. *)
+
+val peek : 'a t -> 'a option
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents in no particular order (for tests/inspection). *)

@@ -1,0 +1,53 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_raw t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t = next_raw t
+
+let split t =
+  let s = next_raw t in
+  { state = Int64.mul s 0xDA942042E4DD58B5L }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits: a 63-bit value can overflow OCaml's native int range. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_raw t) 2) in
+  r mod bound
+
+(* 53 random bits scaled into [0, 1). *)
+let unit_float t =
+  let bits = Int64.to_float (Int64.shift_right_logical (next_raw t) 11) in
+  bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound = unit_float t *. bound
+
+let bool t p = unit_float t < p
+
+let exponential t ~mean =
+  let u = unit_float t in
+  (* Guard against log 0. *)
+  let u = if u <= 0. then epsilon_float else u in
+  -.mean *. log u
+
+let uniform_in t lo hi = lo +. (unit_float t *. (hi -. lo))
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every source of randomness in the repository — network jitter, timeout
+    fuzz, workload inter-arrival times, qcheck schedules — flows from one of
+    these generators, so any experiment or failing test is replayable from a
+    single integer seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances. Used to give
+    each simulated node / client its own stream so that adding a node does not
+    perturb the randomness seen by others. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Sample from an exponential distribution; used for Poisson arrivals. *)
+
+val uniform_in : t -> float -> float -> float
+(** [uniform_in t lo hi] is uniform in [\[lo, hi)]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

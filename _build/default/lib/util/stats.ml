@@ -1,0 +1,106 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+      /. float_of_int (List.length xs - 1)
+    in
+    sqrt var
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.quantile: empty array";
+  if q <= 0. then sorted.(0)
+  else if q >= 1. then sorted.(n - 1)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let summarize xs =
+  match xs with
+  | [] ->
+    { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
+  | _ ->
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    {
+      count = Array.length arr;
+      mean = mean xs;
+      stddev = stddev xs;
+      min = arr.(0);
+      max = arr.(Array.length arr - 1);
+      p50 = quantile arr 0.5;
+      p90 = quantile arr 0.9;
+      p99 = quantile arr 0.99;
+    }
+
+type acc = {
+  mutable n : int;
+  mutable m : float; (* running mean *)
+  mutable s : float; (* running sum of squared deviations *)
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let acc_create () = { n = 0; m = 0.; s = 0.; lo = infinity; hi = neg_infinity }
+
+let acc_add a x =
+  a.n <- a.n + 1;
+  let delta = x -. a.m in
+  a.m <- a.m +. (delta /. float_of_int a.n);
+  a.s <- a.s +. (delta *. (x -. a.m));
+  if x < a.lo then a.lo <- x;
+  if x > a.hi then a.hi <- x
+
+let acc_count a = a.n
+
+let acc_mean a = if a.n = 0 then 0. else a.m
+
+let acc_stddev a = if a.n < 2 then 0. else sqrt (a.s /. float_of_int (a.n - 1))
+
+let acc_min a = if a.n = 0 then 0. else a.lo
+
+let acc_max a = if a.n = 0 then 0. else a.hi
+
+type histogram = {
+  bounds : float array;
+  counts : int array; (* length = Array.length bounds + 1 *)
+}
+
+let histogram_create ~buckets =
+  { bounds = Array.copy buckets; counts = Array.make (Array.length buckets + 1) 0 }
+
+let histogram_add h x =
+  let rec find i =
+    if i >= Array.length h.bounds then i
+    else if x <= h.bounds.(i) then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  h.counts.(i) <- h.counts.(i) + 1
+
+let histogram_counts h =
+  let n = Array.length h.bounds in
+  List.init (n + 1) (fun i ->
+      let bound = if i = n then infinity else h.bounds.(i) in
+      (bound, h.counts.(i)))

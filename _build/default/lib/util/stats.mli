@@ -1,0 +1,59 @@
+(** Online and offline statistics used by the experiment harness. *)
+
+(** {1 Summaries of float samples} *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** Full summary of a sample list; all fields are 0 for the empty list. *)
+
+val quantile : float array -> float -> float
+(** [quantile sorted q] for [q] in [\[0,1\]] with linear interpolation.
+    The array must be sorted ascending and non-empty. *)
+
+val mean : float list -> float
+
+val stddev : float list -> float
+
+(** {1 Streaming accumulator}
+
+    Constant-space accumulator for mean/variance/min/max (Welford). Useful
+    when per-sample storage would distort a long simulation. *)
+
+type acc
+
+val acc_create : unit -> acc
+
+val acc_add : acc -> float -> unit
+
+val acc_count : acc -> int
+
+val acc_mean : acc -> float
+
+val acc_stddev : acc -> float
+
+val acc_min : acc -> float
+
+val acc_max : acc -> float
+
+(** {1 Histogram} *)
+
+type histogram
+
+val histogram_create : buckets:float array -> histogram
+(** [buckets] are the ascending upper bounds; an implicit +inf bucket is
+    appended. *)
+
+val histogram_add : histogram -> float -> unit
+
+val histogram_counts : histogram -> (float * int) list
+(** Upper-bound / count pairs, the +inf bucket reported as [infinity]. *)

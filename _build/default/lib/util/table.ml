@@ -1,0 +1,75 @@
+type align = Left | Right
+
+type t = {
+  header : string list;
+  width : int;
+  mutable rows : string list list; (* reversed *)
+  mutable align : align list option;
+}
+
+let create ~header = { header; width = List.length header; rows = []; align = None }
+
+let add_row t row =
+  if List.length row <> t.width then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: expected %d columns, got %d" t.width
+         (List.length row));
+  t.rows <- row :: t.rows
+
+let set_align t aligns =
+  if List.length aligns <> t.width then invalid_arg "Table.set_align: width mismatch";
+  t.align <- Some aligns
+
+let default_align width = List.init width (fun i -> if i = 0 then Left else Right)
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let widths = Array.make t.width 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter measure all;
+  let aligns =
+    match t.align with Some a -> a | None -> default_align t.width
+  in
+  let pad align width cell =
+    let gap = width - String.length cell in
+    match align with
+    | Left -> cell ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ cell
+  in
+  let render_row row =
+    let cells = List.mapi (fun i cell -> pad (List.nth aligns i) widths.(i) cell) row in
+    String.concat "  " cells
+  in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body = List.map render_row rows in
+  String.concat "\n" ((render_row t.header :: sep :: body) @ [ "" ])
+
+let print ?title t =
+  (match title with
+  | Some s ->
+    print_newline ();
+    print_endline s;
+    print_endline (String.make (String.length s) '=')
+  | None -> ());
+  print_string (render t)
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let fmt_int = string_of_int
+
+let fmt_pct x = Printf.sprintf "%.1f%%" (x *. 100.)
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let rows = t.header :: List.rev t.rows in
+  String.concat "\n" (List.map (fun row -> String.concat "," (List.map csv_escape row)) rows)
+  ^ "\n"

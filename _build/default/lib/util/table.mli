@@ -1,0 +1,35 @@
+(** Plain-text table rendering for experiment output.
+
+    The benchmark harness prints every reproduced table through this module so
+    that runs are diffable. Columns are auto-sized; numbers should be
+    pre-formatted by the caller (see {!fmt_float} helpers). *)
+
+type align = Left | Right
+
+type t
+
+val create : header:string list -> t
+(** Create a table; every row added later must match the header width. *)
+
+val add_row : t -> string list -> unit
+
+val set_align : t -> align list -> unit
+(** Per-column alignment; default is [Left] for the first column and [Right]
+    for the rest. *)
+
+val render : t -> string
+(** Render with a separator line under the header. *)
+
+val print : ?title:string -> t -> unit
+(** Print to stdout, optionally preceded by an underlined title. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting, default 2 decimals. *)
+
+val fmt_int : int -> string
+
+val fmt_pct : float -> string
+(** [fmt_pct 0.25] is ["25.0%"]. *)
+
+val to_csv : t -> string
+(** The same table as CSV (header + rows), for machine consumption. *)

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Cp_smr Cp_util Float Printf String

@@ -1,0 +1,73 @@
+module Rng = Cp_util.Rng
+module Kv = Cp_smr.Kv
+module Bank = Cp_smr.Bank
+module Lock = Cp_smr.Lock
+module Fifo = Cp_smr.Fifo
+
+let counter_ops ~count seq = if seq <= count then Some (Cp_smr.Counter.inc 1) else None
+
+let zipf_sampler rng ~n ~s =
+  if n <= 0 then invalid_arg "zipf_sampler: n must be positive";
+  if s <= 0. then fun () -> Rng.int rng n
+  else begin
+    let weights = Array.init n (fun i -> 1. /. Float.pow (float_of_int (i + 1)) s) in
+    let cdf = Array.make n 0. in
+    let total = ref 0. in
+    Array.iteri
+      (fun i w ->
+        total := !total +. w;
+        cdf.(i) <- !total)
+      weights;
+    fun () ->
+      let u = Rng.float rng !total in
+      (* Binary search for the first cdf entry >= u. *)
+      let rec search lo hi =
+        if lo >= hi then lo
+        else begin
+          let mid = (lo + hi) / 2 in
+          if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+        end
+      in
+      search 0 (n - 1)
+  end
+
+let make_value size seq =
+  let s = Printf.sprintf "v%d_" seq in
+  if String.length s >= size then s
+  else s ^ String.make (size - String.length s) 'x'
+
+let kv_ops ~rng ~keys ~read_ratio ?(value_size = 16) ?(zipf = 0.) ~count () =
+  let sample = zipf_sampler rng ~n:keys ~s:zipf in
+  fun seq ->
+    if seq > count then None
+    else begin
+      let k = "k" ^ string_of_int (sample ()) in
+      if Rng.bool rng read_ratio then Some (Kv.get k)
+      else Some (Kv.put k (make_value value_size seq))
+    end
+
+let bank_setup_ops ~accounts ~balance seq =
+  if seq <= accounts then Some (Bank.open_ ("a" ^ string_of_int (seq - 1)) balance)
+  else None
+
+let bank_ops ~rng ~accounts ?(read_ratio = 0.2) ~count () seq =
+  if seq > count then None
+  else begin
+    let acct () = "a" ^ string_of_int (Rng.int rng accounts) in
+    if Rng.bool rng read_ratio then Some (Bank.balance (acct ()))
+    else begin
+      let a = acct () in
+      let b = acct () in
+      Some (Bank.transfer a b (1 + Rng.int rng 10))
+    end
+  end
+
+let lock_ops ~owner ~lock ~count seq =
+  if seq > count then None
+  else if seq mod 2 = 1 then Some (Lock.acquire ~owner lock)
+  else Some (Lock.release ~owner lock)
+
+let fifo_ops ~rng ?(push_ratio = 0.6) ~count () seq =
+  if seq > count then None
+  else if Rng.bool rng push_ratio then Some (Fifo.push ("x" ^ string_of_int seq))
+  else Some Fifo.pop

@@ -1,0 +1,47 @@
+(** Workload generators: deterministic operation streams for clients.
+
+    Every generator is a function [seq -> op option] as consumed by
+    {!Cp_smr.Client.create}; randomness comes from a supplied
+    {!Cp_util.Rng.t}, so workloads replay from the experiment seed. *)
+
+val counter_ops : count:int -> int -> string option
+(** [count] increments of 1. *)
+
+val kv_ops :
+  rng:Cp_util.Rng.t ->
+  keys:int ->
+  read_ratio:float ->
+  ?value_size:int ->
+  ?zipf:float ->
+  count:int ->
+  unit ->
+  int -> string option
+(** Mixed GET/PUT over [keys] keys ([k0], [k1], …). Key choice is uniform,
+    or Zipf-distributed with exponent [zipf] when given (hot keys first).
+    Values are deterministic strings of [value_size] (default 16) bytes. *)
+
+val bank_setup_ops : accounts:int -> balance:int -> int -> string option
+(** [accounts] OPEN operations establishing equal balances. *)
+
+val bank_ops :
+  rng:Cp_util.Rng.t ->
+  accounts:int ->
+  ?read_ratio:float ->
+  count:int ->
+  unit ->
+  int -> string option
+(** Random transfers between accounts (amount 1..10), mixed with BALANCE
+    reads at [read_ratio] (default 0.2). *)
+
+val lock_ops :
+  owner:string -> lock:string -> count:int -> int -> string option
+(** Acquire/release cycles on one lock: odd seq acquires, even releases. *)
+
+val fifo_ops :
+  rng:Cp_util.Rng.t -> ?push_ratio:float -> count:int -> unit -> int -> string option
+
+(** {1 Samplers} *)
+
+val zipf_sampler : Cp_util.Rng.t -> n:int -> s:float -> unit -> int
+(** Zipf over [0..n-1] with exponent [s] (inverse-CDF over a precomputed
+    table). [s = 0.] degenerates to uniform. *)

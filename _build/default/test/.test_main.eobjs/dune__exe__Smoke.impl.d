@@ -1,0 +1,1 @@
+test/smoke.ml: Alcotest Cheap_paxos Cluster Cp_engine Cp_proto Cp_runtime Cp_smr Faults

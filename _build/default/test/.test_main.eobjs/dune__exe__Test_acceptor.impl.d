@@ -1,0 +1,1 @@
+test/test_acceptor.ml: Alcotest Cp_engine Cp_proto List QCheck QCheck_alcotest

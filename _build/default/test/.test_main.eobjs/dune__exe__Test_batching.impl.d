@@ -1,0 +1,1 @@
+test/test_batching.ml: Alcotest Cheap_paxos Cp_engine Cp_proto Cp_runtime Cp_sim Cp_smr List Printf

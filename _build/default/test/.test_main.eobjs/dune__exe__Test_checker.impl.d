@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Cp_checker Cp_proto Cp_smr List Option QCheck QCheck_alcotest

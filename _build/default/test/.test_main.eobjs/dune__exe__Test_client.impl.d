@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest Cp_proto Cp_sim Cp_smr Float List Option Printf

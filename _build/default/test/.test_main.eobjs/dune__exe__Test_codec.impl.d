@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Buffer Cp_proto Format List Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_configs.ml: Alcotest Cheap_paxos Cp_engine Cp_proto Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Cp_harness Cp_util Cp_workload Float List String

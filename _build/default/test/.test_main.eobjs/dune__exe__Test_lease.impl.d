@@ -1,0 +1,1 @@
+test/test_lease.ml: Alcotest Cheap_paxos Cp_checker Cp_engine Cp_runtime Cp_smr Cp_util List Printf String

@@ -1,0 +1,1 @@
+test/test_log.ml: Alcotest Cp_engine Cp_proto Gen List Option QCheck QCheck_alcotest

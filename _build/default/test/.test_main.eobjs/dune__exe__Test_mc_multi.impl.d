@@ -1,0 +1,1 @@
+test/test_mc_multi.ml: Alcotest Cp_mc Option Printf

@@ -1,0 +1,1 @@
+test/test_nemesis.ml: Alcotest Cheap_paxos Cp_checker Cp_engine Cp_proto Cp_runtime Cp_sim Cp_smr Cp_util List String

@@ -1,0 +1,1 @@
+test/test_netio.ml: Alcotest Cheap_paxos Cp_checker Cp_engine Cp_netio Cp_proto Cp_smr Hashtbl List Option Thread Unix

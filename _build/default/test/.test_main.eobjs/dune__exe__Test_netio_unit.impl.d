@@ -1,0 +1,1 @@
+test/test_netio_unit.ml: Alcotest Cp_netio Cp_proto Cp_sim List Mutex Thread Unix

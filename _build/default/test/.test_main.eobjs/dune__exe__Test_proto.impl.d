@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Cheap_paxos Cp_proto Format List Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_reconfig_safety.ml: Alcotest Cheap_paxos Cp_engine Cp_proto Cp_runtime Cp_smr List Printf

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Cheap_paxos Cp_engine Cp_runtime Cp_smr Gen Hashtbl List Printf QCheck QCheck_alcotest

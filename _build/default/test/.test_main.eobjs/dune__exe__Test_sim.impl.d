@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cp_sim Cp_util List Printf

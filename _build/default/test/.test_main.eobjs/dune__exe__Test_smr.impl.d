@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Cp_proto Cp_smr Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cp_util Float Fun Gen List Printf QCheck QCheck_alcotest String

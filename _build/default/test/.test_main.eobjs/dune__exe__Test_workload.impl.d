@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cp_util Cp_workload List Printf String

@@ -1,0 +1,58 @@
+(* Throwaway smoke test used during bring-up; superseded by the full suites
+   but kept as the fastest end-to-end sanity check. *)
+
+open Cp_runtime
+
+let counter_ops n seq = if seq <= n then Some (Cp_smr.Counter.inc 1) else None
+
+let test_cheap_basic () =
+  let initial = Cheap_paxos.Cheap.initial_config ~f:1 in
+  let cluster =
+    Cluster.create ~seed:42 ~policy:Cheap_paxos.Cheap.policy ~initial
+      ~app:(module Cp_smr.Counter) ()
+  in
+  let _id, client = Cluster.add_client cluster ~ops:(counter_ops 20) () in
+  let ok =
+    Cluster.run_until cluster ~deadline:5.0 (fun () -> Cp_smr.Client.is_finished client)
+  in
+  Alcotest.(check bool) "client finished" true ok;
+  Alcotest.(check int) "20 ops done" 20 (Cp_smr.Client.done_count client);
+  (* Auxiliaries received nothing in the failure-free run. *)
+  let aux_rx = Cluster.sum_metric cluster ~ids:(Cluster.auxes cluster) "msgs_recv" in
+  Alcotest.(check int) "auxes idle" 0 aux_rx
+
+let test_classic_basic () =
+  let initial = Cp_proto.Config.classic ~n:3 in
+  let cluster =
+    Cluster.create ~seed:7 ~policy:Cp_engine.Policy.classic ~initial
+      ~app:(module Cp_smr.Counter) ()
+  in
+  let _id, client = Cluster.add_client cluster ~ops:(counter_ops 20) () in
+  let ok =
+    Cluster.run_until cluster ~deadline:5.0 (fun () -> Cp_smr.Client.is_finished client)
+  in
+  Alcotest.(check bool) "client finished" true ok
+
+let test_cheap_failover () =
+  let initial = Cheap_paxos.Cheap.initial_config ~f:1 in
+  let cluster =
+    Cluster.create ~seed:11 ~policy:Cheap_paxos.Cheap.policy ~initial
+      ~app:(module Cp_smr.Counter) ()
+  in
+  let _id, client = Cluster.add_client cluster ~ops:(counter_ops 200) () in
+  (* Kill main 1 (a follower) mid-run; service must continue and the config
+     must eventually drop it. *)
+  Faults.schedule cluster [ (0.05, Faults.Crash 1) ];
+  let ok =
+    Cluster.run_until cluster ~deadline:10.0 (fun () -> Cp_smr.Client.is_finished client)
+  in
+  Alcotest.(check bool) "client finished despite crash" true ok;
+  let cfg = Cp_engine.Replica.latest_config (Cluster.replica cluster 0) in
+  Alcotest.(check bool) "main 1 removed" false (Cp_proto.Config.is_main cfg 1)
+
+let suite =
+  [
+    Alcotest.test_case "cheap basic" `Quick test_cheap_basic;
+    Alcotest.test_case "classic basic" `Quick test_classic_basic;
+    Alcotest.test_case "cheap failover" `Quick test_cheap_failover;
+  ]

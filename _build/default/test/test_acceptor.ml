@@ -1,0 +1,181 @@
+(* Tests of the pure acceptor state machine. *)
+
+module Acceptor = Cp_engine.Acceptor
+module Ballot = Cp_proto.Ballot
+module Types = Cp_proto.Types
+
+let b r l = Ballot.make ~round:r ~leader:l
+
+let entry i = Types.App { Types.client = 1; seq = i; op = "op" ^ string_of_int i }
+
+let test_initial () =
+  let a = Acceptor.create () in
+  Alcotest.(check bool) "bottom promise" true (Ballot.equal (Acceptor.promised a) Ballot.bottom);
+  Alcotest.(check int) "no votes" 0 (Acceptor.vote_count a);
+  Alcotest.(check int) "floor 0" 0 (Acceptor.compacted_upto a);
+  Alcotest.(check bool) "invariant" true (Acceptor.invariant a)
+
+let test_p1a_promise_and_nack () =
+  let a = Acceptor.create () in
+  let a, r1 = Acceptor.handle_p1a a ~ballot:(b 1 0) ~low:0 in
+  (match r1 with
+  | Acceptor.Promise ([], 0) -> ()
+  | _ -> Alcotest.fail "expected empty promise");
+  (* Lower ballot refused; promise not regressed. *)
+  let a, r2 = Acceptor.handle_p1a a ~ballot:(b 0 5) ~low:0 in
+  (match r2 with
+  | Acceptor.P1_nack p -> Alcotest.(check bool) "nack carries promise" true (Ballot.equal p (b 1 0))
+  | _ -> Alcotest.fail "expected nack");
+  (* Equal ballot re-promises (idempotent retransmission). *)
+  let _, r3 = Acceptor.handle_p1a a ~ballot:(b 1 0) ~low:0 in
+  match r3 with Acceptor.Promise _ -> () | _ -> Alcotest.fail "expected re-promise"
+
+let test_p2a_accept_nack_stale () =
+  let a = Acceptor.create () in
+  let a, r = Acceptor.handle_p2a a ~ballot:(b 1 0) ~instance:0 ~entry:(entry 0) in
+  Alcotest.(check bool) "accepted" true (r = Acceptor.Accepted);
+  (* A p2a also raises the promise: lower phase 1 now refused. *)
+  let a, r = Acceptor.handle_p1a a ~ballot:(b 0 9) ~low:0 in
+  Alcotest.(check bool) "p1 below promise nacked" true
+    (match r with Acceptor.P1_nack _ -> true | _ -> false);
+  (* Lower-ballot p2a refused. *)
+  let a, r = Acceptor.handle_p2a a ~ballot:(b 0 9) ~instance:1 ~entry:(entry 1) in
+  Alcotest.(check bool) "p2 nacked" true
+    (match r with Acceptor.P2_nack _ -> true | _ -> false);
+  (* Higher-ballot p2a overwrites the vote at the same instance. *)
+  let a, r = Acceptor.handle_p2a a ~ballot:(b 2 1) ~instance:0 ~entry:Types.Noop in
+  Alcotest.(check bool) "overwrite accepted" true (r = Acceptor.Accepted);
+  (match Acceptor.vote_at a 0 with
+  | Some v ->
+    Alcotest.(check bool) "new ballot" true (Ballot.equal v.Types.vballot (b 2 1));
+    Alcotest.(check bool) "new entry" true (Types.entry_equal v.Types.ventry Types.Noop)
+  | None -> Alcotest.fail "vote missing");
+  (* Below the compaction floor: stale. *)
+  let a = Acceptor.compact a ~upto:1 in
+  let _, r = Acceptor.handle_p2a a ~ballot:(b 3 0) ~instance:0 ~entry:Types.Noop in
+  Alcotest.(check bool) "stale" true (r = Acceptor.Stale)
+
+let test_votes_from_and_promise_content () =
+  let a = Acceptor.create () in
+  let a, _ = Acceptor.handle_p2a a ~ballot:(b 1 0) ~instance:2 ~entry:(entry 2) in
+  let a, _ = Acceptor.handle_p2a a ~ballot:(b 1 0) ~instance:5 ~entry:(entry 5) in
+  let a, _ = Acceptor.handle_p2a a ~ballot:(b 1 0) ~instance:7 ~entry:(entry 7) in
+  Alcotest.(check (list int)) "votes from 3" [ 5; 7 ]
+    (List.map fst (Acceptor.votes_from a ~low:3));
+  let _, r = Acceptor.handle_p1a a ~ballot:(b 2 1) ~low:5 in
+  match r with
+  | Acceptor.Promise (votes, floor) ->
+    Alcotest.(check (list int)) "promise votes" [ 5; 7 ] (List.map fst votes);
+    Alcotest.(check int) "floor" 0 floor
+  | _ -> Alcotest.fail "expected promise"
+
+let test_compact_monotone () =
+  let a = Acceptor.create () in
+  let a, _ = Acceptor.handle_p2a a ~ballot:(b 1 0) ~instance:0 ~entry:(entry 0) in
+  let a, _ = Acceptor.handle_p2a a ~ballot:(b 1 0) ~instance:9 ~entry:(entry 9) in
+  let a = Acceptor.compact a ~upto:5 in
+  Alcotest.(check int) "floor 5" 5 (Acceptor.compacted_upto a);
+  Alcotest.(check int) "one vote left" 1 (Acceptor.vote_count a);
+  (* Lowering the floor is a no-op. *)
+  let a = Acceptor.compact a ~upto:2 in
+  Alcotest.(check int) "floor still 5" 5 (Acceptor.compacted_upto a)
+
+let test_export_import_roundtrip () =
+  let a = Acceptor.create () in
+  let a, _ = Acceptor.handle_p1a a ~ballot:(b 3 2) ~low:0 in
+  let a, _ = Acceptor.handle_p2a a ~ballot:(b 3 2) ~instance:4 ~entry:(entry 4) in
+  let a = Acceptor.compact a ~upto:2 in
+  let a' = Acceptor.import (Acceptor.export a) in
+  Alcotest.(check bool) "promised" true
+    (Ballot.equal (Acceptor.promised a) (Acceptor.promised a'));
+  Alcotest.(check int) "floor" (Acceptor.compacted_upto a) (Acceptor.compacted_upto a');
+  Alcotest.(check int) "votes" (Acceptor.vote_count a) (Acceptor.vote_count a');
+  Alcotest.(check bool) "vote content" true
+    (match (Acceptor.vote_at a 4, Acceptor.vote_at a' 4) with
+    | Some v, Some v' ->
+      Ballot.equal v.Types.vballot v'.Types.vballot
+      && Types.entry_equal v.Types.ventry v'.Types.ventry
+    | _ -> false)
+
+(* Random operation sequences keep the invariant, and the promise never
+   decreases. *)
+type op =
+  | P1 of int * int * int
+  | P2 of int * int * int
+  | Compact of int
+
+let arb_op =
+  QCheck.(
+    map
+      (fun (tag, r, l, i) ->
+        match tag mod 3 with
+        | 0 -> P1 (r, l, i)
+        | 1 -> P2 (r, l, i)
+        | _ -> Compact i)
+      (quad (int_range 0 2) (int_range 0 8) (int_range 0 4) (int_range 0 20)))
+
+let prop_acceptor_invariant =
+  QCheck.Test.make ~name:"acceptor invariant under random ops" ~count:300
+    QCheck.(list arb_op)
+    (fun ops ->
+      let a = ref (Acceptor.create ()) in
+      List.for_all
+        (fun op ->
+          let before = Acceptor.promised !a in
+          (match op with
+          | P1 (r, l, low) ->
+            let a', _ = Acceptor.handle_p1a !a ~ballot:(b r l) ~low in
+            a := a'
+          | P2 (r, l, i) ->
+            let a', _ = Acceptor.handle_p2a !a ~ballot:(b r l) ~instance:i ~entry:Types.Noop in
+            a := a'
+          | Compact upto -> a := Acceptor.compact !a ~upto);
+          Acceptor.invariant !a && Ballot.(before <= Acceptor.promised !a))
+        ops)
+
+(* The single-acceptor safety kernel: once a vote is accepted at ballot b,
+   only a p2a with ballot >= the current promise can change it. *)
+let prop_vote_stability =
+  QCheck.Test.make ~name:"votes only overwritten by >= promised ballots" ~count:300
+    QCheck.(list arb_op)
+    (fun ops ->
+      let a = ref (Acceptor.create ()) in
+      List.for_all
+        (fun op ->
+          match op with
+          | P1 (r, l, low) ->
+            let a', _ = Acceptor.handle_p1a !a ~ballot:(b r l) ~low in
+            a := a';
+            true
+          | Compact upto ->
+            a := Acceptor.compact !a ~upto;
+            true
+          | P2 (r, l, i) ->
+            let prev = Acceptor.vote_at !a i in
+            let promised = Acceptor.promised !a in
+            let a', res = Acceptor.handle_p2a !a ~ballot:(b r l) ~instance:i ~entry:Types.Noop in
+            a := a';
+            let now = Acceptor.vote_at !a i in
+            (match res with
+            | Acceptor.Accepted -> Ballot.(promised <= b r l)
+            | Acceptor.P2_nack _ | Acceptor.Stale -> (
+              (* Vote unchanged on refusal. *)
+              match (prev, now) with
+              | None, None -> true
+              | Some v, Some v' -> Ballot.equal v.Types.vballot v'.Types.vballot
+              | _ -> res = Acceptor.Stale)))
+        ops)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial;
+    Alcotest.test_case "p1a promise and nack" `Quick test_p1a_promise_and_nack;
+    Alcotest.test_case "p2a accept/nack/stale" `Quick test_p2a_accept_nack_stale;
+    Alcotest.test_case "votes_from and promise content" `Quick
+      test_votes_from_and_promise_content;
+    Alcotest.test_case "compact monotone" `Quick test_compact_monotone;
+    Alcotest.test_case "export/import roundtrip" `Quick test_export_import_roundtrip;
+  ]
+  @ qsuite [ prop_acceptor_invariant; prop_vote_stability ]

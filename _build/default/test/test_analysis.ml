@@ -1,0 +1,68 @@
+(* Tests of the analytic models (message cost, hardware cost, availability)
+   that the experiment harness prints as "expected" values. *)
+
+module A = Cheap_paxos.Analysis
+
+let feq name a b = Alcotest.(check (float 1e-9)) name a b
+
+let test_hardware_cost () =
+  feq "cheap f=1" 2.1 (A.hardware_cost A.Cheap ~f:1);
+  feq "classic f=1" 3.0 (A.hardware_cost A.Classic ~f:1);
+  feq "cheap f=2 custom ratio" 3.5 (A.hardware_cost ~aux_cost_ratio:0.25 A.Cheap ~f:2);
+  (* Free auxiliaries: the saving approaches f / (2f+1). *)
+  feq "free auxes" (2. /. 5.)
+    (A.cost_saving ~aux_cost_ratio:0. ~f:2 ());
+  Alcotest.(check bool) "saving grows with f" true
+    (A.cost_saving ~f:3 () > A.cost_saving ~f:1 ())
+
+let test_static_availability_edges () =
+  (* p = 1: always available; p = 0: never. *)
+  List.iter
+    (fun sys ->
+      feq "p=1" 1.0 (A.static_availability sys ~f:2 ~p:1.0);
+      feq "p=0" 0.0 (A.static_availability sys ~f:2 ~p:0.0))
+    [ A.Cheap; A.Classic ];
+  (* Replication helps: availability exceeds a single machine's for p near 1. *)
+  Alcotest.(check bool) "better than one machine" true
+    (A.static_availability A.Classic ~f:1 ~p:0.9 > 0.9)
+
+let test_static_availability_cheap_equals_classic () =
+  (* A structural fact the E12 table surfaces: any majority of the 2f+1
+     acceptors necessarily contains a main (auxiliaries alone are only f),
+     so the static availability of the two systems is identical — the cost
+     saving does not buy static availability away. *)
+  List.iter
+    (fun f ->
+      List.iter
+        (fun p ->
+          let c = A.static_availability A.Cheap ~f ~p in
+          let cl = A.static_availability A.Classic ~f ~p in
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "f=%d p=%.2f" f p)
+            cl c)
+        [ 0.5; 0.9; 0.99 ])
+    [ 1; 2; 3 ]
+
+let test_availability_monotone_in_p () =
+  let rec check sys prev = function
+    | [] -> ()
+    | p :: rest ->
+      let a = A.static_availability sys ~f:2 ~p in
+      Alcotest.(check bool) (Printf.sprintf "monotone at %.2f" p) true (a >= prev);
+      check sys a rest
+  in
+  check A.Cheap 0. [ 0.1; 0.3; 0.5; 0.7; 0.9; 0.99 ]
+
+let test_leader_messages () =
+  Alcotest.(check int) "cheap f=2" 6 (A.leader_messages_per_commit A.Cheap ~f:2);
+  Alcotest.(check int) "classic f=2" 12 (A.leader_messages_per_commit A.Classic ~f:2)
+
+let suite =
+  [
+    Alcotest.test_case "hardware cost" `Quick test_hardware_cost;
+    Alcotest.test_case "availability edges" `Quick test_static_availability_edges;
+    Alcotest.test_case "cheap availability = classic (static)" `Quick
+      test_static_availability_cheap_equals_classic;
+    Alcotest.test_case "availability monotone in p" `Quick test_availability_monotone_in_p;
+    Alcotest.test_case "leader message counts" `Quick test_leader_messages;
+  ]

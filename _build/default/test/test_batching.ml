@@ -1,0 +1,115 @@
+(* Batching tests: multiple client commands per log instance, with
+   unchanged client-visible semantics. *)
+
+module Cluster = Cp_runtime.Cluster
+module Inspect = Cp_runtime.Inspect
+module Replica = Cp_engine.Replica
+module Client = Cp_smr.Client
+module Counter = Cp_smr.Counter
+module Types = Cp_proto.Types
+
+let batch_params n =
+  {
+    Cp_engine.Params.default with
+    batch_max = n;
+    pipeline_max = (if n > 1 then 2 else Cp_engine.Params.default.Cp_engine.Params.pipeline_max);
+  }
+
+let cluster_with ~batch ~seed =
+  Cluster.create ~seed ~params:(batch_params batch) ~policy:Cheap_paxos.Cheap.policy
+    ~initial:(Cheap_paxos.Cheap.initial_config ~f:1)
+    ~app:(module Counter) ()
+
+let run_clients cluster ~clients ~per_client =
+  let handles =
+    List.init clients (fun _ ->
+        snd
+          (Cluster.add_client cluster
+             ~ops:(fun s -> if s <= per_client then Some (Counter.inc 1) else None)
+             ()))
+  in
+  let ok =
+    Cluster.run_until cluster ~deadline:20. (fun () ->
+        List.for_all Client.is_finished handles)
+  in
+  (ok, handles)
+
+let final_counter cluster =
+  let _, probe =
+    Cluster.add_client cluster ~ops:(fun s -> if s = 1 then Some Counter.get else None) ()
+  in
+  let ok =
+    Cluster.run_until cluster ~deadline:30. (fun () -> Client.is_finished probe)
+  in
+  Alcotest.(check bool) "probe finished" true ok;
+  match Client.history probe with
+  | [ (_, _, _, v) ] -> int_of_string v
+  | _ -> Alcotest.fail "probe history"
+
+let test_batching_correct () =
+  let cluster = cluster_with ~batch:8 ~seed:61 in
+  let clients = 6 and per_client = 80 in
+  let ok, _ = run_clients cluster ~clients ~per_client in
+  Alcotest.(check bool) "finished" true ok;
+  Alcotest.(check int) "exact count" (clients * per_client) (final_counter cluster);
+  (match Inspect.check_safety cluster with Ok () -> () | Error e -> Alcotest.fail e);
+  (* Fewer instances than commands: batching actually happened. *)
+  let instances = Replica.prefix (Cluster.replica cluster 0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched (%d instances for %d cmds)" instances (clients * per_client))
+    true
+    (instances < (clients * per_client * 3 / 4))
+
+let test_batch_vs_unbatched_same_semantics () =
+  let run batch =
+    let cluster = cluster_with ~batch ~seed:62 in
+    let ok, _ = run_clients cluster ~clients:4 ~per_client:50 in
+    Alcotest.(check bool) "finished" true ok;
+    final_counter cluster
+  in
+  Alcotest.(check int) "same final state" (run 1) (run 16)
+
+let test_batch_entries_in_log () =
+  let cluster = cluster_with ~batch:8 ~seed:63 in
+  let ok, _ = run_clients cluster ~clients:8 ~per_client:40 in
+  Alcotest.(check bool) "finished" true ok;
+  let r = Cluster.replica cluster 0 in
+  let has_batch =
+    List.exists
+      (fun (_, e) -> match e with Types.Batch _ -> true | _ -> false)
+      (Replica.log_range r ~lo:(Replica.log_base r) ~hi:max_int)
+  in
+  Alcotest.(check bool) "log contains batch entries" true has_batch
+
+let test_batching_with_crash () =
+  let cluster = cluster_with ~batch:8 ~seed:64 in
+  Cp_runtime.Faults.schedule cluster [ (0.05, Cp_runtime.Faults.Crash 1) ];
+  let ok, _ = run_clients cluster ~clients:4 ~per_client:60 in
+  Alcotest.(check bool) "finished despite crash" true ok;
+  Alcotest.(check int) "exact count" 240 (final_counter cluster);
+  match Inspect.check_safety cluster with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_batching_under_loss_dedup () =
+  (* Retransmitted client commands must not be double-counted inside or
+     across batches. *)
+  let net = { Cp_sim.Netmodel.lan with drop_prob = 0.1 } in
+  let cluster =
+    Cluster.create ~seed:65 ~net ~params:(batch_params 8)
+      ~policy:Cheap_paxos.Cheap.policy
+      ~initial:(Cheap_paxos.Cheap.initial_config ~f:1)
+      ~app:(module Counter) ()
+  in
+  let ok, _ = run_clients cluster ~clients:3 ~per_client:40 in
+  Alcotest.(check bool) "finished" true ok;
+  Alcotest.(check int) "exactly once" 120 (final_counter cluster);
+  match Inspect.check_safety cluster with Ok () -> () | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "batching correct" `Quick test_batching_correct;
+    Alcotest.test_case "batched = unbatched semantics" `Quick
+      test_batch_vs_unbatched_same_semantics;
+    Alcotest.test_case "batch entries in log" `Quick test_batch_entries_in_log;
+    Alcotest.test_case "batching with crash" `Quick test_batching_with_crash;
+    Alcotest.test_case "batching under loss (dedup)" `Quick test_batching_under_loss_dedup;
+  ]

@@ -1,0 +1,229 @@
+(* Tests of the safety checkers themselves: they must accept legal histories
+   and reject known violations (a checker that can't fail is no checker). *)
+
+module Consistency = Cp_checker.Consistency
+module Lin = Cp_checker.Linearizability
+module Types = Cp_proto.Types
+module Config = Cp_proto.Config
+
+let entry i = Types.App { Types.client = 0; seq = i; op = "e" ^ string_of_int i }
+
+let dump node entries = { Consistency.node; base = 0; entries }
+
+let ok = Alcotest.(check bool) "ok" true
+
+let violation = Alcotest.(check bool) "violation detected" true
+
+(* --- agreement --------------------------------------------------------- *)
+
+let test_agreement_ok () =
+  let d1 = dump 0 [ (0, entry 0); (1, entry 1) ] in
+  let d2 = dump 1 [ (0, entry 0) ] in
+  let d3 = dump 2 [] in
+  ok (Consistency.agreement [ d1; d2; d3 ] = Ok ())
+
+let test_agreement_violation () =
+  let d1 = dump 0 [ (0, entry 0) ] in
+  let d2 = dump 1 [ (0, entry 99) ] in
+  violation (match Consistency.agreement [ d1; d2 ] with Error _ -> true | Ok () -> false)
+
+let test_agreement_disjoint_ok () =
+  (* Disjoint coverage (snapshots at different points) is fine. *)
+  let d1 = dump 0 [ (0, entry 0); (1, entry 1) ] in
+  let d2 = dump 1 [ (2, entry 2) ] in
+  ok (Consistency.agreement [ d1; d2 ] = Ok ())
+
+(* --- gaps --------------------------------------------------------------- *)
+
+let test_gaps () =
+  let d = dump 0 [ (0, entry 0); (2, entry 2) ] in
+  ok (Consistency.no_gaps_below_executed d ~executed:1 = Ok ());
+  violation
+    (match Consistency.no_gaps_below_executed d ~executed:3 with
+    | Error _ -> true
+    | Ok () -> false)
+
+let test_gaps_with_base () =
+  let d = { Consistency.node = 0; base = 5; entries = [ (5, entry 5); (6, entry 6) ] } in
+  ok (Consistency.no_gaps_below_executed d ~executed:7 = Ok ())
+
+(* --- configs ------------------------------------------------------------ *)
+
+let test_configs_agree () =
+  let c0 = Config.cheap ~f:1 in
+  let c1 = Option.get (Config.remove_main c0 1) in
+  let tl_a = [ (0, c0); (40, c1) ] in
+  let tl_b = [ (0, c0) ] in
+  ok (Consistency.configs_agree [ (0, tl_a); (1, tl_b) ] = Ok ());
+  let c1' = Option.get (Config.remove_main c0 0) in
+  let tl_c = [ (0, c0); (40, c1') ] in
+  violation
+    (match Consistency.configs_agree [ (0, tl_a); (2, tl_c) ] with
+    | Error _ -> true
+    | Ok () -> false)
+
+(* --- command uniqueness -------------------------------------------------- *)
+
+let test_command_uniqueness () =
+  let cmd op = Types.App { Types.client = 7; seq = 1; op } in
+  (* Same command at two instances with the same payload: benign re-proposal. *)
+  let d = dump 0 [ (0, cmd "x"); (1, cmd "x") ] in
+  ok (Consistency.command_uniqueness [ d ] = Ok ());
+  (* Same (client, seq) with different payloads: corruption. *)
+  let d' = dump 0 [ (0, cmd "x"); (1, cmd "y") ] in
+  violation
+    (match Consistency.command_uniqueness [ d' ] with Error _ -> true | Ok () -> false)
+
+(* --- linearizability ------------------------------------------------------ *)
+
+let h entries = entries (* (inv, comp, op, result) *)
+
+let test_lin_sequential_ok () =
+  let history =
+    h
+      [
+        (0., 1., "PUT k 1", "OK");
+        (2., 3., "GET k", "1");
+        (4., 5., "PUT k 2", "OK");
+        (6., 7., "GET k", "2");
+      ]
+  in
+  match Lin.check_kv history with
+  | Ok b -> ok b
+  | Error e -> Alcotest.fail e
+
+let test_lin_stale_read_rejected () =
+  (* The read strictly follows both writes in real time but returns the first
+     value: not linearizable. *)
+  let history =
+    h [ (0., 1., "PUT k 1", "OK"); (2., 3., "PUT k 2", "OK"); (4., 5., "GET k", "1") ]
+  in
+  match Lin.check_kv history with
+  | Ok b -> Alcotest.(check bool) "rejected" false b
+  | Error e -> Alcotest.fail e
+
+let test_lin_concurrent_flexible () =
+  (* A read overlapping a write may see either value. *)
+  let see v =
+    h [ (0., 10., "PUT k new", "OK"); (1., 2., "GET k", v) ]
+  in
+  (match Lin.check_kv (see "new") with
+  | Ok b -> ok b
+  | Error e -> Alcotest.fail e);
+  match Lin.check_kv (see "NONE") with
+  | Ok b -> ok b
+  | Error e -> Alcotest.fail e
+
+let test_lin_cas_semantics () =
+  let history =
+    h
+      [
+        (0., 1., "PUT k a", "OK");
+        (2., 3., "CAS k a b", "OK");
+        (4., 5., "CAS k a c", "FAIL");
+        (6., 7., "GET k", "b");
+      ]
+  in
+  (match Lin.check_kv history with Ok b -> ok b | Error e -> Alcotest.fail e);
+  (* A CAS that claims success from the wrong base value is a violation. *)
+  let bad = h [ (0., 1., "PUT k a", "OK"); (2., 3., "CAS k z w", "OK") ] in
+  match Lin.check_kv bad with
+  | Ok b -> Alcotest.(check bool) "rejected" false b
+  | Error e -> Alcotest.fail e
+
+let test_lin_lost_update_rejected () =
+  (* Two sequential deletes can't both return the same pre-state via reads. *)
+  let history =
+    h
+      [
+        (0., 1., "PUT k v", "OK");
+        (2., 3., "DEL k", "OK");
+        (4., 5., "GET k", "v");
+      ]
+  in
+  match Lin.check_kv history with
+  | Ok b -> Alcotest.(check bool) "rejected" false b
+  | Error e -> Alcotest.fail e
+
+let test_lin_per_key_independence () =
+  (* Interleaved ops on different keys don't constrain each other. *)
+  let history =
+    h
+      [
+        (0., 10., "PUT a 1", "OK");
+        (1., 2., "PUT b 9", "OK");
+        (3., 4., "GET b", "9");
+        (11., 12., "GET a", "1");
+      ]
+  in
+  match Lin.check_kv history with Ok b -> ok b | Error e -> Alcotest.fail e
+
+let test_lin_parse_error () =
+  match Lin.check_kv [ (0., 1., "NONSENSE", "x") ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_lin_generic_model () =
+  (* Directly exercise the generic checker with a register model where two
+     overlapping increments can linearize in either order. *)
+  let model =
+    {
+      Lin.init = 0;
+      step = (fun st op -> if op = "inc" then (st + 1, string_of_int (st + 1)) else (st, string_of_int st));
+      state_key = string_of_int;
+    }
+  in
+  let events =
+    [
+      { Lin.inv = 0.; comp = 5.; op = "inc"; result = "2" };
+      { Lin.inv = 1.; comp = 4.; op = "inc"; result = "1" };
+    ]
+  in
+  ok (Lin.check model events);
+  let impossible =
+    [
+      { Lin.inv = 0.; comp = 1.; op = "inc"; result = "1" };
+      { Lin.inv = 2.; comp = 3.; op = "inc"; result = "1" };
+    ]
+  in
+  Alcotest.(check bool) "impossible rejected" false (Lin.check model impossible)
+
+(* Property: histories generated from an actual sequential execution are
+   always accepted. *)
+let prop_lin_accepts_sequential =
+  QCheck.Test.make ~name:"linearizability accepts sequential executions" ~count:100
+    QCheck.(list (pair (int_range 0 2) (int_range 0 4)))
+    (fun script ->
+      let inst = Cp_proto.Appi.instantiate (module Cp_smr.Kv) in
+      let _, history =
+        List.fold_left
+          (fun (t, acc) (k, v) ->
+            let key = "k" ^ string_of_int k in
+            let op = if v = 0 then Cp_smr.Kv.get key else Cp_smr.Kv.put key (string_of_int v) in
+            let result = inst.Cp_proto.Appi.apply op in
+            (t +. 2., (t, t +. 1., op, result) :: acc))
+          (0., []) script
+      in
+      match Lin.check_kv (List.rev history) with Ok b -> b | Error _ -> false)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suite =
+  [
+    Alcotest.test_case "agreement ok" `Quick test_agreement_ok;
+    Alcotest.test_case "agreement violation" `Quick test_agreement_violation;
+    Alcotest.test_case "agreement disjoint" `Quick test_agreement_disjoint_ok;
+    Alcotest.test_case "gaps" `Quick test_gaps;
+    Alcotest.test_case "gaps with base" `Quick test_gaps_with_base;
+    Alcotest.test_case "configs agree" `Quick test_configs_agree;
+    Alcotest.test_case "command uniqueness" `Quick test_command_uniqueness;
+    Alcotest.test_case "lin: sequential" `Quick test_lin_sequential_ok;
+    Alcotest.test_case "lin: stale read rejected" `Quick test_lin_stale_read_rejected;
+    Alcotest.test_case "lin: concurrent flexible" `Quick test_lin_concurrent_flexible;
+    Alcotest.test_case "lin: cas semantics" `Quick test_lin_cas_semantics;
+    Alcotest.test_case "lin: lost update rejected" `Quick test_lin_lost_update_rejected;
+    Alcotest.test_case "lin: per-key independence" `Quick test_lin_per_key_independence;
+    Alcotest.test_case "lin: parse error" `Quick test_lin_parse_error;
+    Alcotest.test_case "lin: generic model" `Quick test_lin_generic_model;
+  ]
+  @ qsuite [ prop_lin_accepts_sequential ]

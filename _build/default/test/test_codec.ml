@@ -1,0 +1,160 @@
+(* Wire-codec tests: exact roundtrips for every constructor, generated
+   roundtrips, totality of the decoder on junk, and agreement between the
+   size model and the real encoding. *)
+
+module Types = Cp_proto.Types
+module Codec = Cp_proto.Codec
+module Ballot = Cp_proto.Ballot
+module Config = Cp_proto.Config
+
+let msg_equal a b =
+  (* Structural equality is fine: messages contain no functional values. *)
+  a = b
+
+let roundtrip msg =
+  match Codec.decode (Codec.encode msg) with
+  | Ok msg' -> msg_equal msg msg'
+  | Error _ -> false
+
+let sample_msgs =
+  let b = Ballot.make ~round:3 ~leader:1 in
+  let b' = Ballot.make ~round:4 ~leader:2 in
+  let cmd = { Types.client = 1001; seq = 17; op = "PUT key value" } in
+  let vote = { Types.vballot = b; ventry = Types.App cmd } in
+  let cfg = Config.cheap ~f:2 in
+  let snapshot =
+    {
+      Types.next_instance = 500;
+      app_state = String.make 100 's';
+      sessions = [ (1001, (12, [ (14, "OK"); (17, "NONE") ])); (1002, (3, [])) ];
+      base_config = cfg;
+      pending_configs = [ (532, Option.get (Config.remove_main cfg 1)) ];
+    }
+  in
+  [
+    Types.P1a { ballot = b; low = 42 };
+    Types.P1b
+      { ballot = b; from = 2; votes = [ (7, vote); (9, { vote with ventry = Types.Noop }) ];
+        compacted_upto = 5 };
+    Types.P1b { ballot = Ballot.bottom; from = 0; votes = []; compacted_upto = 0 };
+    Types.P1Nack { ballot = b; promised = b' };
+    Types.P2a { ballot = b; instance = 7; entry = Types.App cmd };
+    Types.P2a { ballot = b; instance = 0; entry = Types.Reconfig (Types.Remove_main 4) };
+    Types.P2a { ballot = b; instance = 1; entry = Types.Reconfig (Types.Add_main 9) };
+    Types.P2b { ballot = b; instance = 7; from = 3 };
+    Types.P2Nack { ballot = b; instance = 7; promised = b' };
+    Types.Commit { instance = 9; entry = Types.Noop };
+    Types.CommitFloor { upto = 1234567 };
+    Types.Heartbeat { ballot = b; commit_floor = 100; sent_at = 0.125 };
+    Types.HeartbeatAck { ballot = b; from = 1; prefix = 99; echo = 0.125 };
+    Types.CatchupReq { from = 2; from_instance = 55 };
+    Types.CatchupResp { entries = [ (1, Types.Noop); (2, Types.App cmd) ]; snapshot = None };
+    Types.CatchupResp { entries = []; snapshot = Some snapshot };
+    Types.JoinReq { from = 6 };
+    Types.ClientReq cmd;
+    Types.ClientResp { client = 1001; seq = 17; result = "" };
+    Types.Redirect { leader_hint = 0 };
+  ]
+
+let test_roundtrip_all_constructors () =
+  List.iter
+    (fun msg ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a" Types.pp_msg msg)
+        true (roundtrip msg))
+    sample_msgs
+
+let test_decode_rejects_junk () =
+  List.iter
+    (fun s ->
+      match Codec.decode s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "junk decoded: %S" s)
+    [ ""; "\255"; "\042"; "\000"; "\001\001"; String.make 3 '\xff' ]
+
+let test_decode_rejects_trailing () =
+  let good = Codec.encode (Types.CommitFloor { upto = 1 }) in
+  match Codec.decode (good ^ "x") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing bytes accepted"
+
+let test_decode_rejects_truncation () =
+  let good = Codec.encode (List.nth sample_msgs 1) in
+  for cut = 1 to String.length good - 1 do
+    match Codec.decode (String.sub good 0 cut) with
+    | Error _ -> ()
+    | Ok m ->
+      (* A prefix that happens to decode must at least not equal the original. *)
+      Alcotest.(check bool) "prefix differs" false (m = List.nth sample_msgs 1)
+  done
+
+let test_varint_edges () =
+  let roundtrip_int n =
+    let buf = Buffer.create 10 in
+    Codec.write_varint buf n;
+    match Codec.read_varint (Buffer.contents buf) ~pos:0 with
+    | Ok (v, pos) -> v = n && pos = Buffer.length buf
+    | Error _ -> false
+  in
+  List.iter
+    (fun n -> Alcotest.(check bool) (string_of_int n) true (roundtrip_int n))
+    [ 0; 1; -1; 63; 64; -64; 127; 128; 300; -300; 1 lsl 20; -(1 lsl 20); 1 lsl 40 ]
+
+let test_size_model_sane () =
+  (* The analytic size model budgets a transport header (16 B) plus 8 B per
+     integer field, while the codec packs varints with no header — so the
+     model must upper-bound the real payload, stay within the header+field
+     budget of it, and grow with it (within 3x) once payloads dominate. *)
+  List.iter
+    (fun msg ->
+      let real = String.length (Codec.encode msg) in
+      let model = Types.size_of msg in
+      Alcotest.(check bool)
+        (Format.asprintf "%a: real=%d model=%d" Types.pp_msg msg real model)
+        true
+        (model >= real / 3 && model <= 16 + (12 * real)))
+    sample_msgs
+
+let arb_msg =
+  let open QCheck.Gen in
+  let ballot = map2 (fun r l -> Ballot.make ~round:r ~leader:l) (int_range 0 50) (int_range 0 9) in
+  let op = map (fun n -> "op" ^ string_of_int n) (int_range 0 1000) in
+  let cmd = map2 (fun c (s, op) -> { Types.client = c; seq = s; op })
+      (int_range 1000 1020) (pair (int_range 1 100) op) in
+  let entry =
+    frequency
+      [ (1, return Types.Noop);
+        (3, map (fun c -> Types.App c) cmd);
+        (1, map (fun m -> Types.Reconfig (Types.Remove_main m)) (int_range 0 9));
+        (1, map (fun m -> Types.Reconfig (Types.Add_main m)) (int_range 0 9)) ]
+  in
+  let vote = map2 (fun b e -> { Types.vballot = b; ventry = e }) ballot entry in
+  let ivotes = list_size (int_range 0 8) (pair (int_range 0 100) vote) in
+  QCheck.make
+    (frequency
+       [ (1, map2 (fun b low -> Types.P1a { ballot = b; low }) ballot (int_range 0 100));
+         (2, map3 (fun b f (vs, c) -> Types.P1b { ballot = b; from = f; votes = vs; compacted_upto = c })
+              ballot (int_range 0 9) (pair ivotes (int_range 0 50)));
+         (2, map3 (fun b i e -> Types.P2a { ballot = b; instance = i; entry = e })
+              ballot (int_range 0 200) entry);
+         (1, map3 (fun b i f -> Types.P2b { ballot = b; instance = i; from = f })
+              ballot (int_range 0 200) (int_range 0 9));
+         (1, map2 (fun i e -> Types.Commit { instance = i; entry = e }) (int_range 0 200) entry);
+         (1, map (fun c -> Types.ClientReq c) cmd) ])
+
+let prop_roundtrip_generated =
+  QCheck.Test.make ~name:"codec roundtrips generated messages" ~count:500 arb_msg
+    roundtrip
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip all constructors" `Quick test_roundtrip_all_constructors;
+    Alcotest.test_case "decode rejects junk" `Quick test_decode_rejects_junk;
+    Alcotest.test_case "decode rejects trailing bytes" `Quick test_decode_rejects_trailing;
+    Alcotest.test_case "decode rejects truncation" `Quick test_decode_rejects_truncation;
+    Alcotest.test_case "varint edges" `Quick test_varint_edges;
+    Alcotest.test_case "size model sane" `Quick test_size_model_sane;
+  ]
+  @ qsuite [ prop_roundtrip_generated ]

@@ -1,0 +1,144 @@
+(* Tests of the configuration timeline (α-window reconfiguration). *)
+
+module Configs = Cp_engine.Configs
+module Config = Cp_proto.Config
+module Types = Cp_proto.Types
+
+let alpha = 8
+
+let initial = Config.cheap ~f:2 (* mains {0,1,2}, pool {3,4} *)
+
+let make () = Configs.create ~alpha ~initial
+
+let test_initial_everywhere () =
+  let t = make () in
+  Alcotest.(check bool) "at 0" true (Config.equal (Configs.config_for t 0) initial);
+  Alcotest.(check bool) "far future" true
+    (Config.equal (Configs.config_for t 1_000_000) initial);
+  Alcotest.(check bool) "latest" true (Config.equal (Configs.latest t) initial)
+
+let test_effective_point () =
+  let t = make () in
+  (match Configs.apply_at t ~at:10 (Types.Remove_main 1) with
+  | None -> Alcotest.fail "apply refused"
+  | Some cfg -> Alcotest.(check (list int)) "removed" [ 0; 2 ] cfg.Config.mains);
+  (* Effective exactly at 10 + alpha. *)
+  Alcotest.(check bool) "before boundary: old" true
+    (Config.equal (Configs.config_for t (10 + alpha - 1)) initial);
+  let after = Configs.config_for t (10 + alpha) in
+  Alcotest.(check (list int)) "at boundary: new" [ 0; 2 ] after.Config.mains;
+  Alcotest.(check int) "epoch" 1 after.Config.epoch
+
+let test_sequential_composition () =
+  let t = make () in
+  ignore (Configs.apply_at t ~at:5 (Types.Remove_main 1));
+  (* Second change lands while the first is still pending; it must compose on
+     the *latest* config, not the one in force at instance 6. *)
+  ignore (Configs.apply_at t ~at:6 (Types.Remove_main 2));
+  let final = Configs.config_for t (6 + alpha) in
+  Alcotest.(check (list int)) "both removals applied" [ 0 ] final.Config.mains;
+  let mid = Configs.config_for t (5 + alpha) in
+  Alcotest.(check (list int)) "first only" [ 0; 2 ] mid.Config.mains
+
+let test_rejected_noop () =
+  let t = make () in
+  Alcotest.(check bool) "remove non-main rejected" true
+    (Configs.apply_at t ~at:0 (Types.Remove_main 9) = None);
+  Alcotest.(check bool) "add existing rejected" true
+    (Configs.apply_at t ~at:1 (Types.Add_main 0) = None);
+  Alcotest.(check bool) "timeline unchanged" true
+    (List.length (Configs.timeline t) = 1)
+
+let test_remove_last_main_rejected () =
+  let t = Configs.create ~alpha ~initial:(Config.make ~epoch:0 ~mains:[ 0 ] ~aux_pool:[]) in
+  Alcotest.(check bool) "refused" true (Configs.apply_at t ~at:0 (Types.Remove_main 0) = None)
+
+let test_covering () =
+  let t = make () in
+  ignore (Configs.apply_at t ~at:10 (Types.Remove_main 1));
+  ignore (Configs.apply_at t ~at:30 (Types.Add_main 1));
+  (* From instance 0: all three configs are live. *)
+  Alcotest.(check int) "three configs" 3 (List.length (Configs.covering t ~low:0));
+  (* From beyond the last effective point: only the latest. *)
+  Alcotest.(check int) "one config" 1 (List.length (Configs.covering t ~low:(30 + alpha)));
+  (* In between: the middle and the pending one. *)
+  Alcotest.(check int) "two configs" 2 (List.length (Configs.covering t ~low:(10 + alpha)))
+
+let test_export_import_roundtrip () =
+  let t = make () in
+  ignore (Configs.apply_at t ~at:4 (Types.Remove_main 2));
+  ignore (Configs.apply_at t ~at:20 (Types.Add_main 2));
+  (* Snapshot between the two effective points. *)
+  let next = 4 + alpha + 1 in
+  let base, pending = Configs.export t ~next in
+  Alcotest.(check (list int)) "base is post-removal" [ 0; 1 ] base.Config.mains;
+  Alcotest.(check int) "one pending" 1 (List.length pending);
+  let t' = Configs.create ~alpha ~initial in
+  Configs.import t' ~base ~at:next ~pending;
+  Alcotest.(check bool) "config at next" true
+    (Config.equal (Configs.config_for t' next) base);
+  Alcotest.(check bool) "pending applies" true
+    (Config.equal (Configs.config_for t' (20 + alpha)) (Configs.config_for t (20 + alpha)))
+
+let test_alpha_accessor () =
+  Alcotest.(check int) "alpha" alpha (Configs.alpha (make ()))
+
+(* Properties over random (instance-ordered) reconfiguration sequences. *)
+let arb_script =
+  QCheck.(
+    list_of_size Gen.(int_range 0 12)
+      (pair bool (int_range 0 6))) (* (is_remove, machine) applied at 3,6,9,... *)
+
+let apply_script t script =
+  List.iteri
+    (fun i (is_remove, m) ->
+      let r = if is_remove then Types.Remove_main m else Types.Add_main m in
+      ignore (Configs.apply_at t ~at:(3 * (i + 1)) r))
+    script
+
+let prop_config_for_total_and_monotone_epochs =
+  QCheck.Test.make ~name:"config_for is total; epochs are non-decreasing" ~count:300
+    arb_script
+    (fun script ->
+      let t = make () in
+      apply_script t script;
+      let rec check i prev_epoch =
+        if i > 200 then true
+        else begin
+          let cfg = Configs.config_for t i in
+          cfg.Config.epoch >= prev_epoch
+          && Cheap_paxos.Cheap.invariant cfg
+          && check (i + 1) cfg.Config.epoch
+        end
+      in
+      check 0 (-1))
+
+let prop_export_import_preserves_config_for =
+  QCheck.Test.make ~name:"export/import preserves config_for above the cut" ~count:300
+    (QCheck.pair arb_script (QCheck.int_range 0 60))
+    (fun (script, next) ->
+      let t = make () in
+      apply_script t script;
+      let base, pending = Configs.export t ~next in
+      let t' = make () in
+      Configs.import t' ~base ~at:next ~pending;
+      let rec check i =
+        i > 120
+        || (Config.equal (Configs.config_for t i) (Configs.config_for t' i) && check (i + 1))
+      in
+      check next)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suite =
+  [
+    Alcotest.test_case "initial everywhere" `Quick test_initial_everywhere;
+    Alcotest.test_case "effective point at +alpha" `Quick test_effective_point;
+    Alcotest.test_case "sequential composition" `Quick test_sequential_composition;
+    Alcotest.test_case "rejected reconfig is a no-op" `Quick test_rejected_noop;
+    Alcotest.test_case "remove last main rejected" `Quick test_remove_last_main_rejected;
+    Alcotest.test_case "covering configs" `Quick test_covering;
+    Alcotest.test_case "export/import roundtrip" `Quick test_export_import_roundtrip;
+    Alcotest.test_case "alpha accessor" `Quick test_alpha_accessor;
+  ]
+  @ qsuite [ prop_config_for_total_and_monotone_epochs; prop_export_import_preserves_config_for ]

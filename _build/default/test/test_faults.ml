@@ -1,0 +1,234 @@
+(* Adversarial randomized testing: random crash/restart schedules on lossy
+   networks, across many seeds. Safety (log agreement, config agreement,
+   command uniqueness, at-most-once execution) must hold on every schedule;
+   liveness only when the schedule happens to leave quorums alive, so it is
+   asserted only when the run finished. One linearizability variant checks
+   client-visible semantics end to end. *)
+
+module Cluster = Cp_runtime.Cluster
+module Faults = Cp_runtime.Faults
+module Inspect = Cp_runtime.Inspect
+module Replica = Cp_engine.Replica
+module Client = Cp_smr.Client
+module Rng = Cp_util.Rng
+module Counter = Cp_smr.Counter
+
+(* Up to [rounds] crash events; each crashed machine restarts after a random
+   delay (sometimes it stays down to the horizon). *)
+let random_schedule rng ~machines ~horizon ~rounds =
+  let events = ref [] in
+  for _ = 1 to rounds do
+    let victim = List.nth machines (Rng.int rng (List.length machines)) in
+    let at = Rng.float rng horizon in
+    events := (at, Faults.Crash victim) :: !events;
+    if Rng.bool rng 0.8 then begin
+      let back = at +. 0.05 +. Rng.float rng (horizon /. 2.) in
+      events := (back, Faults.Restart victim) :: !events
+    end
+  done;
+  List.sort (fun (a, _) (b, _) -> compare a b) !events
+
+let run_one ~sys ~seed =
+  let policy, initial =
+    match sys with
+    | `Cheap f -> (Cheap_paxos.Cheap.policy, Cheap_paxos.Cheap.initial_config ~f)
+    | `Classic n -> (Cp_engine.Policy.classic, Cp_proto.Config.classic ~n)
+  in
+  let net = { Cp_sim.Netmodel.lan with drop_prob = 0.02; dup_prob = 0.01 } in
+  let cluster = Cluster.create ~seed ~net ~policy ~initial ~app:(module Counter) () in
+  let rng = Rng.create (seed * 31 + 7) in
+  let machines = Cluster.mains cluster @ Cluster.auxes cluster in
+  let schedule = random_schedule rng ~machines ~horizon:1.5 ~rounds:3 in
+  Faults.schedule cluster schedule;
+  let per_client = 100 in
+  let clients =
+    List.init 2 (fun _ ->
+        snd
+          (Cluster.add_client cluster ~think:2e-3
+             ~ops:(fun s -> if s <= per_client then Some (Counter.inc 1) else None)
+             ()))
+  in
+  let finished =
+    Cluster.run_until cluster ~deadline:8. (fun () ->
+        List.for_all Client.is_finished clients)
+  in
+  (* Safety always. *)
+  (match Inspect.check_safety cluster with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "seed %d: safety violated: %s" seed e);
+  (* At-most-once execution: replicas' session state equals the number of
+     completed ops per client (checked on the most advanced live main). *)
+  if finished then begin
+    let eng = Cluster.engine cluster in
+    let best =
+      List.fold_left
+        (fun acc id ->
+          if Cp_sim.Engine.is_up eng id then
+            match acc with
+            | Some b
+              when Replica.executed (Cluster.replica cluster b)
+                   >= Replica.executed (Cluster.replica cluster id) ->
+              acc
+            | _ -> Some id
+          else acc)
+        None (Cluster.mains cluster)
+    in
+    match best with
+    | None -> ()
+    | Some id ->
+      let r = Cluster.replica cluster id in
+      List.iteri
+        (fun i _ ->
+          match Replica.session_of r (1000 + i) with
+          | Some (seq, _) ->
+            if seq <> per_client then
+              Alcotest.failf "seed %d: client %d session seq %d <> %d" seed i seq
+                per_client
+          | None -> Alcotest.failf "seed %d: client %d session missing" seed i)
+        clients
+  end;
+  finished
+
+(* CHEAP_LONG=1 widens the seed sweep for overnight-style soak runs. *)
+let n_seeds = if Sys.getenv_opt "CHEAP_LONG" <> None then 60 else 12
+
+let seeds = List.init n_seeds (fun i -> 1000 + (i * 17))
+
+let test_random_cheap_f1 () =
+  let finished = List.filter (fun s -> run_one ~sys:(`Cheap 1) ~seed:s) seeds in
+  (* Most schedules leave a quorum alive; demand at least some liveness so a
+     protocol that stalls everywhere cannot pass silently. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "some runs finished (%d/%d)" (List.length finished)
+       (List.length seeds))
+    true
+    (List.length finished >= List.length seeds / 3)
+
+let test_random_cheap_f2 () =
+  let finished = List.filter (fun s -> run_one ~sys:(`Cheap 2) ~seed:s) seeds in
+  Alcotest.(check bool)
+    (Printf.sprintf "some runs finished (%d/%d)" (List.length finished)
+       (List.length seeds))
+    true
+    (List.length finished >= List.length seeds / 3)
+
+let test_random_classic () =
+  let finished = List.filter (fun s -> run_one ~sys:(`Classic 3) ~seed:s) seeds in
+  Alcotest.(check bool)
+    (Printf.sprintf "some runs finished (%d/%d)" (List.length finished)
+       (List.length seeds))
+    true
+    (List.length finished >= List.length seeds / 3)
+
+(* End-to-end linearizability of the KV store under a mid-run crash. *)
+let run_lin ~seed =
+  let cluster =
+    Cluster.create ~seed
+      ~net:{ Cp_sim.Netmodel.lan with drop_prob = 0.02 }
+      ~policy:Cheap_paxos.Cheap.policy
+      ~initial:(Cheap_paxos.Cheap.initial_config ~f:1)
+      ~app:(module Cp_smr.Kv) ()
+  in
+  let rng = Rng.create (seed + 3) in
+  let machines = Cluster.mains cluster in
+  let schedule = random_schedule rng ~machines ~horizon:0.6 ~rounds:1 in
+  Faults.schedule cluster schedule;
+  let mk_client _i =
+    let rng = Rng.split rng in
+    let ops seq =
+      if seq > 40 then None
+      else begin
+        let key = "k" ^ string_of_int (Rng.int rng 3) in
+        match Rng.int rng 3 with
+        | 0 -> Some (Cp_smr.Kv.get key)
+        | 1 -> Some (Cp_smr.Kv.put key (string_of_int (Rng.int rng 100)))
+        | _ -> Some (Cp_smr.Kv.cas key ~old:(string_of_int (Rng.int rng 100)) ~new_:"z")
+      end
+    in
+    snd (Cluster.add_client cluster ~think:2e-3 ~ops ())
+  in
+  let clients = List.init 3 mk_client in
+  let finished =
+    Cluster.run_until cluster ~deadline:10. (fun () ->
+        List.for_all Client.is_finished clients)
+  in
+  (match Inspect.check_safety cluster with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "lin seed %d: safety: %s" seed e);
+  if finished then begin
+    let history = List.concat_map Client.history clients in
+    match Cp_checker.Linearizability.check_kv history with
+    | Ok true -> ()
+    | Ok false -> Alcotest.failf "lin seed %d: history not linearizable" seed
+    | Error e -> Alcotest.failf "lin seed %d: %s" seed e
+  end;
+  finished
+
+let test_linearizability_under_faults () =
+  let seeds = List.init 8 (fun i -> 2000 + (i * 13)) in
+  let finished = List.filter (fun s -> run_lin ~seed:s) seeds in
+  Alcotest.(check bool)
+    (Printf.sprintf "some lin runs finished (%d/%d)" (List.length finished)
+       (List.length seeds))
+    true
+    (List.length finished >= List.length seeds / 2)
+
+(* Heavier loss plus duplication, no crashes: retransmission layer alone. *)
+let test_heavy_loss_no_crash () =
+  List.iter
+    (fun seed ->
+      let net = { Cp_sim.Netmodel.lan with drop_prob = 0.25; dup_prob = 0.05 } in
+      let cluster =
+        Cluster.create ~seed ~net ~policy:Cheap_paxos.Cheap.policy
+          ~initial:(Cheap_paxos.Cheap.initial_config ~f:1)
+          ~app:(module Counter) ()
+      in
+      let _, client =
+        Cluster.add_client cluster
+          ~ops:(fun s -> if s <= 60 then Some (Counter.inc 1) else None)
+          ()
+      in
+      let finished =
+        Cluster.run_until cluster ~deadline:30. (fun () -> Client.is_finished client)
+      in
+      Alcotest.(check bool) (Printf.sprintf "seed %d finished" seed) true finished;
+      match Inspect.check_safety cluster with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "seed %d: %s" seed e)
+    [ 1; 2; 3 ]
+
+(* Repeated partitions isolating the leader. *)
+let test_flapping_partitions () =
+  let cluster =
+    Cluster.create ~seed:4 ~policy:Cheap_paxos.Cheap.policy
+      ~initial:(Cheap_paxos.Cheap.initial_config ~f:2)
+      ~app:(module Counter) ()
+  in
+  let _, client =
+    Cluster.add_client cluster ~think:1e-3
+      ~ops:(fun s -> if s <= 400 then Some (Counter.inc 1) else None)
+      ()
+  in
+  Faults.schedule cluster
+    [
+      (0.2, Faults.Partition [ [ 0 ]; [ 1; 2; 3; 4 ] ]);
+      (0.5, Faults.Heal);
+      (0.8, Faults.Partition [ [ 1 ]; [ 0; 2; 3; 4 ] ]);
+      (1.1, Faults.Heal);
+    ];
+  let finished = Cluster.run_until cluster ~deadline:15. (fun () -> Client.is_finished client) in
+  Alcotest.(check bool) "finished despite flapping" true finished;
+  match Inspect.check_safety cluster with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "random schedules, cheap f=1" `Slow test_random_cheap_f1;
+    Alcotest.test_case "random schedules, cheap f=2" `Slow test_random_cheap_f2;
+    Alcotest.test_case "random schedules, classic" `Slow test_random_classic;
+    Alcotest.test_case "linearizability under faults" `Slow
+      test_linearizability_under_faults;
+    Alcotest.test_case "heavy loss, no crash" `Quick test_heavy_loss_no_crash;
+    Alcotest.test_case "flapping partitions" `Quick test_flapping_partitions;
+  ]

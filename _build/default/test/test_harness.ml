@@ -1,0 +1,74 @@
+(* Tests of the experiment harness: the scenario runner and a
+   representative experiment, so a broken harness cannot silently produce
+   an empty evaluation. *)
+
+module Scenario = Cp_harness.Scenario
+module Experiments = Cp_harness.Experiments
+module Outcome = Cp_harness.Outcome
+
+let test_scenario_runs_cheap () =
+  let spec =
+    {
+      (Scenario.default_spec ~sys:(Scenario.Cheap 1)) with
+      Scenario.ops_per_client = 50;
+      mk_ops = (fun ~client_idx:_ seq -> Cp_workload.Workload.counter_ops ~count:50 seq);
+    }
+  in
+  let r = Scenario.run spec in
+  Alcotest.(check bool) "finished" true r.Scenario.finished;
+  Alcotest.(check int) "completed" 50 r.Scenario.completed;
+  Alcotest.(check bool) "safety" true (Scenario.safety r = Ok ());
+  Alcotest.(check int) "aux idle" 0 (Scenario.aux_msgs_received r);
+  Alcotest.(check bool) "throughput positive" true (Scenario.throughput r > 0.);
+  Alcotest.(check int) "latencies recorded" 50
+    (List.length (Scenario.client_latencies r));
+  Alcotest.(check bool) "msgs per commit ~3" true
+    (Float.abs (Scenario.protocol_msgs_per_commit r -. 3.) < 1.)
+
+let test_scenario_runs_classic () =
+  let spec =
+    {
+      (Scenario.default_spec ~sys:(Scenario.Classic 1)) with
+      Scenario.ops_per_client = 50;
+      mk_ops = (fun ~client_idx:_ seq -> Cp_workload.Workload.counter_ops ~count:50 seq);
+    }
+  in
+  let r = Scenario.run spec in
+  Alcotest.(check bool) "finished" true r.Scenario.finished;
+  Alcotest.(check (list int)) "no aux machines" [] (Scenario.aux_ids r)
+
+let test_machine_id_helpers () =
+  let spec = Scenario.default_spec ~sys:(Scenario.Cheap 2) in
+  let r = Scenario.run { spec with Scenario.ops_per_client = 10;
+                         mk_ops = (fun ~client_idx:_ s -> Cp_workload.Workload.counter_ops ~count:10 s) } in
+  Alcotest.(check (list int)) "mains" [ 0; 1; 2 ] (Scenario.main_ids r);
+  Alcotest.(check (list int)) "auxes" [ 3; 4 ] (Scenario.aux_ids r);
+  Alcotest.(check (list int)) "machines" [ 0; 1; 2; 3; 4 ] (Scenario.machine_ids r)
+
+let test_e1_quick_passes () =
+  let _table, outcomes = Experiments.e1_message_cost.Experiments.run ~quick:true in
+  Alcotest.(check bool) "has outcomes" true (List.length outcomes >= 4);
+  Alcotest.(check bool) "all pass" true (Outcome.all_pass outcomes)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_outcome_table () =
+  let o = Outcome.make ~id:"X" ~claim:"c" ~expected:"1" ~measured:"1" ~pass:true in
+  let table = Outcome.to_table [ o; { o with Outcome.pass = false } ] in
+  let rendered = Cp_util.Table.render table in
+  Alcotest.(check bool) "has PASS" true (contains rendered "PASS");
+  Alcotest.(check bool) "has FAIL" true (contains rendered "FAIL");
+  Alcotest.(check bool) "all_pass false" false
+    (Outcome.all_pass [ o; { o with Outcome.pass = false } ])
+
+let suite =
+  [
+    Alcotest.test_case "scenario runs cheap" `Quick test_scenario_runs_cheap;
+    Alcotest.test_case "scenario runs classic" `Quick test_scenario_runs_classic;
+    Alcotest.test_case "machine id helpers" `Quick test_machine_id_helpers;
+    Alcotest.test_case "E1 quick passes" `Quick test_e1_quick_passes;
+    Alcotest.test_case "outcome table" `Quick test_outcome_table;
+  ]

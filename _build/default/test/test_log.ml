@@ -1,0 +1,87 @@
+(* Tests of the chosen-command log. *)
+
+module Log = Cp_engine.Log
+module Types = Cp_proto.Types
+
+let entry i = Types.App { Types.client = 0; seq = i; op = "e" ^ string_of_int i }
+
+let test_prefix_advances_contiguously () =
+  let log = Log.create () in
+  Alcotest.(check int) "prefix 0" 0 (Log.prefix log);
+  Alcotest.(check bool) "new" true (Log.add_chosen log 0 (entry 0));
+  Alcotest.(check int) "prefix 1" 1 (Log.prefix log);
+  (* Gap at 1: choosing 2 does not advance the prefix. *)
+  Alcotest.(check bool) "new" true (Log.add_chosen log 2 (entry 2));
+  Alcotest.(check int) "prefix stuck" 1 (Log.prefix log);
+  Alcotest.(check bool) "new" true (Log.add_chosen log 1 (entry 1));
+  Alcotest.(check int) "prefix jumps over 2" 3 (Log.prefix log)
+
+let test_duplicate_and_conflict () =
+  let log = Log.create () in
+  ignore (Log.add_chosen log 0 (entry 0));
+  Alcotest.(check bool) "duplicate not new" false (Log.add_chosen log 0 (entry 0));
+  Alcotest.check_raises "conflict raises" (Log.Conflict 0) (fun () ->
+      ignore (Log.add_chosen log 0 (entry 99)))
+
+let test_truncate_and_base () =
+  let log = Log.create () in
+  for i = 0 to 9 do
+    ignore (Log.add_chosen log i (entry i))
+  done;
+  Log.truncate_below log 5;
+  Alcotest.(check int) "base" 5 (Log.base log);
+  Alcotest.(check int) "prefix unchanged" 10 (Log.prefix log);
+  Alcotest.(check (option unit)) "old entry gone" None
+    (Option.map ignore (Log.get log 3));
+  Alcotest.(check bool) "truncated still counted chosen" true (Log.is_chosen log 3);
+  Alcotest.(check int) "entries remaining" 5 (Log.entry_count log);
+  (* Adding below base is a no-op. *)
+  Alcotest.(check bool) "below base ignored" false (Log.add_chosen log 2 (entry 99));
+  (* Truncating backwards is a no-op. *)
+  Log.truncate_below log 3;
+  Alcotest.(check int) "base monotone" 5 (Log.base log)
+
+let test_range_and_max () =
+  let log = Log.create () in
+  List.iter (fun i -> ignore (Log.add_chosen log i (entry i))) [ 0; 1; 4; 5 ];
+  Alcotest.(check (list int)) "range [1,5)" [ 1; 4 ]
+    (List.map fst (Log.range log ~lo:1 ~hi:5));
+  Alcotest.(check int) "max_chosen" 6 (Log.max_chosen log);
+  Alcotest.(check int) "prefix" 2 (Log.prefix log)
+
+let test_reset_to () =
+  let log = Log.create () in
+  for i = 0 to 5 do
+    ignore (Log.add_chosen log i (entry i))
+  done;
+  Log.reset_to log 100;
+  Alcotest.(check int) "base" 100 (Log.base log);
+  Alcotest.(check int) "prefix" 100 (Log.prefix log);
+  Alcotest.(check int) "empty" 0 (Log.entry_count log);
+  ignore (Log.add_chosen log 100 (entry 100));
+  Alcotest.(check int) "continues" 101 (Log.prefix log)
+
+(* Property: regardless of insertion order, the prefix equals the length of
+   the longest contiguous run from 0. *)
+let prop_prefix_correct =
+  QCheck.Test.make ~name:"prefix = longest contiguous run" ~count:300
+    QCheck.(list_of_size Gen.(int_range 0 30) (int_range 0 30))
+    (fun instances ->
+      let log = Log.create () in
+      List.iter (fun i -> ignore (Log.add_chosen log i (entry i))) instances;
+      let chosen = List.sort_uniq compare instances in
+      let rec run n = if List.mem n chosen then run (n + 1) else n in
+      Log.prefix log = run 0)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suite =
+  [
+    Alcotest.test_case "prefix advances contiguously" `Quick
+      test_prefix_advances_contiguously;
+    Alcotest.test_case "duplicate and conflict" `Quick test_duplicate_and_conflict;
+    Alcotest.test_case "truncate and base" `Quick test_truncate_and_base;
+    Alcotest.test_case "range and max" `Quick test_range_and_max;
+    Alcotest.test_case "reset_to" `Quick test_reset_to;
+  ]
+  @ qsuite [ prop_prefix_correct ]

@@ -1,0 +1,102 @@
+(* Model-checker tests: exhaustive agreement on correct quorum systems, and
+   counterexamples on broken ones (so we know the checker can fail). *)
+
+module Mc = Cp_mc.Mc
+
+let spec ?(f = 1) ~quorums ~proposals () =
+  { Mc.n_acceptors = (2 * f) + 1; quorums; proposals }
+
+let test_quorum_generators () =
+  Alcotest.(check int) "majorities of 3" 3 (List.length (Mc.majorities ~n:3));
+  Alcotest.(check int) "majorities of 5" 10 (List.length (Mc.majorities ~n:5));
+  let cq = Mc.cheap_quorums ~f:1 in
+  Alcotest.(check bool) "mains set included" true (List.mem [ 0; 1 ] cq);
+  (* Every pair of cheap quorums intersects. *)
+  List.iter
+    (fun q1 ->
+      List.iter
+        (fun q2 ->
+          Alcotest.(check bool) "intersects" true
+            (List.exists (fun a -> List.mem a q2) q1))
+        cq)
+    cq
+
+let test_agreement_two_proposers_f1 () =
+  (* f = 1: 3 acceptors (mains {0,1}, aux {2}); two competing proposers with
+     different values. Exhaustive over every interleaving. *)
+  let s =
+    spec ~f:1
+      ~quorums:(Mc.cheap_quorums ~f:1)
+      ~proposals:[ (0, 100); (1, 200) ]
+      ()
+  in
+  let r = Mc.check s in
+  Alcotest.(check (option string)) "no violation" None r.Mc.violation;
+  Alcotest.(check bool)
+    (Printf.sprintf "nontrivial search (%d states)" r.Mc.states)
+    true (r.Mc.states > 1000)
+
+let test_agreement_three_proposers_f1 () =
+  (* Three ballots — a retrying leader after two competitors. *)
+  let s =
+    spec ~f:1
+      ~quorums:(Mc.cheap_quorums ~f:1)
+      ~proposals:[ (0, 100); (1, 200); (2, 100) ]
+      ()
+  in
+  let r = Mc.check ~max_states:1_500_000 s in
+  Alcotest.(check (option string)) "no violation" None r.Mc.violation
+
+let test_agreement_f2_two_proposers () =
+  (* f = 2: 5 acceptors, quorum 3; state space is larger, keep 2 proposers. *)
+  let s =
+    spec ~f:2
+      ~quorums:(Mc.cheap_quorums ~f:2)
+      ~proposals:[ (0, 1); (1, 2) ]
+      ()
+  in
+  let r = Mc.check ~max_states:1_500_000 s in
+  Alcotest.(check (option string)) "no violation" None r.Mc.violation
+
+let test_broken_quorums_caught () =
+  (* "Any f+0 acceptors" — non-intersecting {0} and {1,2}: the checker must
+     find the classic split-brain. *)
+  let s =
+    spec ~f:1 ~quorums:[ [ 0 ]; [ 1; 2 ] ] ~proposals:[ (0, 100); (1, 200) ] ()
+  in
+  let r = Mc.check s in
+  Alcotest.(check bool) "violation found" true (r.Mc.violation <> None)
+
+let test_broken_mains_only_after_shrink () =
+  (* The error Cheap Paxos avoids: keeping the OLD mains-only quorum {0,1}
+     while also allowing the aux path {1,2} is fine (they intersect), but a
+     configuration where quorums are the two "halves" {0,1} and {2} — as if
+     the aux alone could act for the shrunk system — must violate. *)
+  let s = spec ~f:1 ~quorums:[ [ 0; 1 ]; [ 2 ] ] ~proposals:[ (0, 1); (1, 2) ] () in
+  let r = Mc.check s in
+  Alcotest.(check bool) "violation found" true (r.Mc.violation <> None)
+
+let test_single_proposer_always_decides_safely () =
+  let s = spec ~f:1 ~quorums:(Mc.cheap_quorums ~f:1) ~proposals:[ (0, 7) ] () in
+  let r = Mc.check s in
+  Alcotest.(check (option string)) "no violation" None r.Mc.violation
+
+let test_distinct_ballots_required () =
+  Alcotest.check_raises "duplicate ballots rejected"
+    (Invalid_argument "Mc.check: ballots must be distinct") (fun () ->
+      ignore
+        (Mc.check (spec ~f:1 ~quorums:(Mc.majorities ~n:3) ~proposals:[ (0, 1); (0, 2) ] ())))
+
+let suite =
+  [
+    Alcotest.test_case "quorum generators" `Quick test_quorum_generators;
+    Alcotest.test_case "exhaustive agreement, f=1, 2 proposers" `Quick
+      test_agreement_two_proposers_f1;
+    Alcotest.test_case "exhaustive agreement, f=1, 3 proposers" `Slow
+      test_agreement_three_proposers_f1;
+    Alcotest.test_case "exhaustive agreement, f=2" `Slow test_agreement_f2_two_proposers;
+    Alcotest.test_case "broken quorums caught" `Quick test_broken_quorums_caught;
+    Alcotest.test_case "mains/aux split caught" `Quick test_broken_mains_only_after_shrink;
+    Alcotest.test_case "single proposer safe" `Quick test_single_proposer_always_decides_safely;
+    Alcotest.test_case "distinct ballots required" `Quick test_distinct_ballots_required;
+  ]

@@ -1,0 +1,72 @@
+(* Model checking the reconfiguration window: the derived-config discipline
+   is exhaustively safe; the assumed-config shortcut must produce the
+   dual-choice counterexample. Mirrors the replica's α-window + phase-1
+   coverage (abdication) rules. *)
+
+module M = Cp_mc.Mc_multi
+
+let spec ~discipline ~proposals = { M.proposals; discipline }
+
+let test_derived_config_safe_reconfig_vs_value () =
+  let s =
+    spec ~discipline:`Derived_config
+      ~proposals:[ (`Reconfig, 10); (`Value 2, 11) ]
+  in
+  let r = M.check s in
+  Alcotest.(check (option string)) "no violation" None r.M.violation;
+  Alcotest.(check bool)
+    (Printf.sprintf "nontrivial search (%d states)" r.M.states)
+    true (r.M.states > 5_000)
+
+let test_derived_config_safe_value_first () =
+  (* The competing proposer carries the reconfig; roles swapped. *)
+  let s =
+    spec ~discipline:`Derived_config
+      ~proposals:[ (`Value 2, 11); (`Reconfig, 10) ]
+  in
+  let r = M.check s in
+  Alcotest.(check (option string)) "no violation" None r.M.violation
+
+let test_derived_config_safe_plain () =
+  (* No reconfiguration at all: plain two-instance Paxos sanity. *)
+  let s =
+    spec ~discipline:`Derived_config
+      ~proposals:[ (`Value 2, 10); (`Value 3, 11) ]
+  in
+  let r = M.check s in
+  Alcotest.(check (option string)) "no violation" None r.M.violation
+
+let test_assumed_config_violates () =
+  (* The shortcut: treat one's own instance-0 proposal as chosen and skip
+     coverage. The checker must exhibit the classic split: instance 1
+     decided through {0} and through {1,2}. *)
+  let s =
+    spec ~discipline:`Assumed_config
+      ~proposals:[ (`Reconfig, 10); (`Value 2, 11) ]
+  in
+  let r = M.check s in
+  Alcotest.(check bool)
+    (Printf.sprintf "violation found (%s)"
+       (Option.value ~default:"-" r.M.violation))
+    true
+    (r.M.violation <> None)
+
+let test_assumed_config_violates_swapped () =
+  let s =
+    spec ~discipline:`Assumed_config
+      ~proposals:[ (`Value 2, 11); (`Reconfig, 10) ]
+  in
+  let r = M.check s in
+  Alcotest.(check bool) "violation found" true (r.M.violation <> None)
+
+let suite =
+  [
+    Alcotest.test_case "derived config safe (reconfig vs value)" `Slow
+      test_derived_config_safe_reconfig_vs_value;
+    Alcotest.test_case "derived config safe (value vs reconfig)" `Slow
+      test_derived_config_safe_value_first;
+    Alcotest.test_case "derived config safe (plain)" `Slow test_derived_config_safe_plain;
+    Alcotest.test_case "assumed config violates" `Quick test_assumed_config_violates;
+    Alcotest.test_case "assumed config violates (swapped)" `Quick
+      test_assumed_config_violates_swapped;
+  ]

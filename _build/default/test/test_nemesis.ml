@@ -1,0 +1,228 @@
+(* Nemesis zoo: named adversarial scenarios, each aimed at a specific
+   protocol behaviour. Every scenario ends with the full safety battery. *)
+
+module Cluster = Cp_runtime.Cluster
+module Faults = Cp_runtime.Faults
+module Inspect = Cp_runtime.Inspect
+module Replica = Cp_engine.Replica
+module Client = Cp_smr.Client
+module Counter = Cp_smr.Counter
+module Engine = Cp_sim.Engine
+
+let assert_safe cluster =
+  match Inspect.check_safety cluster with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("safety: " ^ e)
+
+let counter_client ?(think = 1e-3) ?(total = 1000) cluster =
+  snd
+    (Cluster.add_client cluster ~think
+       ~ops:(fun s -> if s <= total then Some (Counter.inc 1) else None)
+       ())
+
+let finish ?(deadline = 20.) cluster client =
+  Cluster.run_until cluster ~deadline (fun () -> Client.is_finished client)
+
+(* 1. Dueling candidates: cut the leader off, let two mains campaign against
+   each other across a flapping partition, then heal. *)
+let test_dueling_candidates () =
+  let cluster =
+    Cluster.create ~seed:91 ~policy:Cheap_paxos.Cheap.policy
+      ~initial:(Cheap_paxos.Cheap.initial_config ~f:2)
+      ~app:(module Counter) ()
+  in
+  let client = counter_client cluster in
+  Faults.schedule cluster
+    [
+      (0.1, Faults.Partition [ [ 0 ]; [ 1; 3 ]; [ 2; 4; 1000 ] ]);
+      (0.3, Faults.Partition [ [ 0 ]; [ 2; 4 ]; [ 1; 3; 1000 ] ]);
+      (0.5, Faults.Heal);
+    ];
+  Alcotest.(check bool) "finished" true (finish cluster client);
+  (* Exactly one leader among the up mains at the end. *)
+  let leaders =
+    List.filter
+      (fun id ->
+        Engine.is_up (Cluster.engine cluster) id
+        && Replica.is_leader (Cluster.replica cluster id))
+      (Cluster.mains cluster)
+  in
+  Alcotest.(check int) "single leader" 1 (List.length leaders);
+  assert_safe cluster
+
+(* 2. Partition the leader away in the middle of an auxiliary engagement
+   (crash a main, then isolate the leader before the reconfiguration
+   settles). *)
+let test_partition_during_engagement () =
+  let cluster =
+    Cluster.create ~seed:92 ~policy:Cheap_paxos.Cheap.policy
+      ~initial:(Cheap_paxos.Cheap.initial_config ~f:2)
+      ~app:(module Counter) ()
+  in
+  let client = counter_client cluster in
+  Faults.schedule cluster
+    [
+      (0.1, Faults.Crash 1);
+      (* ~30ms later the leader has engaged auxes and proposed the removal;
+         cut it off mid-flight. *)
+      (0.135, Faults.Partition [ [ 0 ]; [ 2; 3; 4; 1000 ] ]);
+      (0.6, Faults.Heal);
+    ];
+  Alcotest.(check bool) "finished" true (finish cluster client);
+  assert_safe cluster
+
+(* 3. Crash/restart flapping of one follower. *)
+let test_follower_flapping () =
+  let cluster =
+    Cluster.create ~seed:93 ~policy:Cheap_paxos.Cheap.policy
+      ~initial:(Cheap_paxos.Cheap.initial_config ~f:1)
+      ~app:(module Counter) ()
+  in
+  let client = counter_client cluster in
+  Faults.schedule cluster
+    (List.concat
+       (List.init 5 (fun i ->
+            let base = 0.1 +. (0.25 *. float_of_int i) in
+            [ (base, Faults.Crash 1); (base +. 0.12, Faults.Restart 1) ])));
+  Alcotest.(check bool) "finished" true (finish cluster client);
+  assert_safe cluster
+
+(* 4. Catch-up must fall back to a snapshot: partition a follower for long
+   enough that the leader truncates the log below the follower's prefix. *)
+let test_catchup_via_snapshot () =
+  let params = { Cp_engine.Params.default with snapshot_every = 100 } in
+  let cluster =
+    Cluster.create ~seed:94 ~params ~policy:Cp_engine.Policy.classic
+      ~initial:(Cp_proto.Config.classic ~n:3)
+      ~app:(module Counter) ()
+  in
+  let client = counter_client ~think:5e-4 ~total:2000 cluster in
+  Faults.schedule cluster
+    [ (0.05, Faults.Partition [ [ 2 ]; [ 0; 1; 1000 ] ]); (1.2, Faults.Heal) ];
+  Alcotest.(check bool) "finished" true (finish cluster client);
+  let caught_up () =
+    Replica.executed (Cluster.replica cluster 2)
+    = Replica.executed (Cluster.replica cluster 0)
+  in
+  Alcotest.(check bool) "follower converged" true
+    (Cluster.run_until cluster ~deadline:(Cluster.now cluster +. 5.) caught_up);
+  Alcotest.(check bool) "snapshot was installed" true
+    (Cluster.metric cluster 2 "snapshot_installs" > 0);
+  assert_safe cluster
+
+(* 5. Duplication-heavy network: exactly-once must hold. *)
+let test_duplicate_storm () =
+  let net = { Cp_sim.Netmodel.lan with dup_prob = 0.3 } in
+  let cluster =
+    Cluster.create ~seed:95 ~net ~policy:Cheap_paxos.Cheap.policy
+      ~initial:(Cheap_paxos.Cheap.initial_config ~f:1)
+      ~app:(module Counter) ()
+  in
+  let total = 300 in
+  let client = counter_client ~think:0. ~total cluster in
+  Alcotest.(check bool) "finished" true (finish cluster client);
+  let _, probe =
+    Cluster.add_client cluster ~ops:(fun s -> if s = 1 then Some Counter.get else None) ()
+  in
+  Alcotest.(check bool) "probe" true (finish ~deadline:30. cluster probe);
+  (match Client.history probe with
+  | [ (_, _, _, v) ] -> Alcotest.(check string) "exactly once" (string_of_int total) v
+  | _ -> Alcotest.fail "probe");
+  assert_safe cluster
+
+(* 6. Everything on: leases + batching + pipelined load + a crash. *)
+let test_kitchen_sink () =
+  let params =
+    {
+      Cp_engine.Params.default with
+      enable_leases = true;
+      batch_max = 8;
+      pipeline_max = 4;
+    }
+  in
+  let cluster =
+    Cluster.create ~seed:96 ~params ~policy:Cheap_paxos.Cheap.policy
+      ~initial:(Cheap_paxos.Cheap.initial_config ~f:1)
+      ~app:(module Cp_smr.Kv) ()
+  in
+  let rng = Cp_util.Rng.create 42 in
+  let is_read op = String.length op >= 3 && String.sub op 0 3 = "GET" in
+  let clients =
+    List.init 4 (fun _ ->
+        let rng = Cp_util.Rng.split rng in
+        let ops seq =
+          if seq > 150 then None
+          else begin
+            let k = "k" ^ string_of_int (Cp_util.Rng.int rng 4) in
+            if Cp_util.Rng.bool rng 0.5 then Some (Cp_smr.Kv.get k)
+            else Some (Cp_smr.Kv.put k (string_of_int seq))
+          end
+        in
+        snd (Cluster.add_client cluster ~is_read ~think:1e-3 ~ops ()))
+  in
+  Faults.schedule cluster [ (0.2, Faults.Crash 1); (0.7, Faults.Restart 1) ];
+  let all_done () = List.for_all Client.is_finished clients in
+  Alcotest.(check bool) "finished" true (Cluster.run_until cluster ~deadline:25. all_done);
+  let history = List.concat_map Client.history clients in
+  (match Cp_checker.Linearizability.check_kv history with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "not linearizable"
+  | Error e -> Alcotest.fail e);
+  assert_safe cluster
+
+(* 7. Client burst: many clients arriving at once. *)
+let test_client_burst () =
+  let cluster =
+    Cluster.create ~seed:97 ~policy:Cheap_paxos.Cheap.policy
+      ~initial:(Cheap_paxos.Cheap.initial_config ~f:1)
+      ~app:(module Counter) ()
+  in
+  let per = 30 in
+  let clients = List.init 50 (fun _ -> counter_client ~think:0. ~total:per cluster) in
+  let all_done () = List.for_all Client.is_finished clients in
+  Alcotest.(check bool) "finished" true (Cluster.run_until cluster ~deadline:30. all_done);
+  let _, probe =
+    Cluster.add_client cluster ~ops:(fun s -> if s = 1 then Some Counter.get else None) ()
+  in
+  Alcotest.(check bool) "probe" true (finish ~deadline:40. cluster probe);
+  (match Client.history probe with
+  | [ (_, _, _, v) ] -> Alcotest.(check string) "exact" (string_of_int (50 * per)) v
+  | _ -> Alcotest.fail "probe");
+  assert_safe cluster
+
+(* 8. The auxiliary crashes in the middle of its engagement: the system
+   must stall (no quorum) and resume when the auxiliary returns. *)
+let test_aux_crash_mid_engagement () =
+  let cluster =
+    Cluster.create ~seed:98 ~policy:Cheap_paxos.Cheap.policy
+      ~initial:(Cheap_paxos.Cheap.initial_config ~f:1)
+      ~app:(module Counter) ()
+  in
+  let client = counter_client ~total:800 cluster in
+  Faults.schedule cluster
+    [
+      (0.1, Faults.Crash 1); (* main down: aux engaged *)
+      (0.12, Faults.Crash 2); (* aux down mid-engagement: 2 of 3 down *)
+      (0.5, Faults.Restart 2);
+    ];
+  (* Stalled while both are down. *)
+  Cluster.run ~until:0.4 cluster;
+  let before = Client.done_count client in
+  Cluster.run ~until:0.45 cluster;
+  Alcotest.(check int) "stalled" before (Client.done_count client);
+  (* Resumes once the auxiliary is back. *)
+  Alcotest.(check bool) "finished after aux restart" true (finish cluster client);
+  assert_safe cluster
+
+let suite =
+  [
+    Alcotest.test_case "dueling candidates" `Quick test_dueling_candidates;
+    Alcotest.test_case "partition during engagement" `Quick
+      test_partition_during_engagement;
+    Alcotest.test_case "follower flapping" `Quick test_follower_flapping;
+    Alcotest.test_case "catch-up via snapshot" `Quick test_catchup_via_snapshot;
+    Alcotest.test_case "duplicate storm" `Quick test_duplicate_storm;
+    Alcotest.test_case "kitchen sink (leases+batching+crash)" `Quick test_kitchen_sink;
+    Alcotest.test_case "client burst" `Quick test_client_burst;
+    Alcotest.test_case "aux crash mid-engagement" `Quick test_aux_crash_mid_engagement;
+  ]

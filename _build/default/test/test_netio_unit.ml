@@ -1,0 +1,116 @@
+(* Unit tests of the UDP runtime's timer machinery and message path, using
+   a trivial echo protocol (no replicas, tight timeouts). Wall-clock based,
+   so assertions are coarse. *)
+
+module Node = Cp_netio.Node
+module Engine = Cp_sim.Engine
+module Types = Cp_proto.Types
+
+let base = 46500
+
+let port_of id = base + id
+
+let id_of_port p = p - base
+
+let test_timers_fire_in_order () =
+  let fired = ref [] in
+  let lock = Mutex.create () in
+  let node =
+    Node.create ~port_of ~id_of_port ~id:0 ~seed:1
+      ~build:(fun ctx ->
+        ignore (ctx.Engine.set_timer ~tag:"b" 0.10);
+        ignore (ctx.Engine.set_timer ~tag:"a" 0.05);
+        ignore (ctx.Engine.set_timer ~tag:"c" 0.15);
+        {
+          Engine.on_message = (fun ~src:_ _ -> ());
+          on_timer =
+            (fun ~tid:_ ~tag ->
+              Mutex.lock lock;
+              fired := tag :: !fired;
+              Mutex.unlock lock);
+        })
+      ()
+  in
+  Node.run_for node 0.4;
+  Node.shutdown node;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !fired)
+
+let test_timer_cancel () =
+  let fired = ref 0 in
+  let node =
+    Node.create ~port_of ~id_of_port ~id:1 ~seed:1
+      ~build:(fun ctx ->
+        let t1 = ctx.Engine.set_timer ~tag:"x" 0.05 in
+        ctx.Engine.cancel_timer t1;
+        ignore (ctx.Engine.set_timer ~tag:"y" 0.08);
+        {
+          Engine.on_message = (fun ~src:_ _ -> ());
+          on_timer = (fun ~tid:_ ~tag:_ -> incr fired);
+        })
+      ()
+  in
+  Node.run_for node 0.3;
+  Node.shutdown node;
+  Alcotest.(check int) "only the uncancelled timer" 1 !fired
+
+let test_echo_roundtrip () =
+  (* Node 3 echoes CommitFloor upto+1 back; node 2 pings and records. *)
+  let got = ref (-1) in
+  let echo =
+    Node.create ~port_of ~id_of_port ~id:3 ~seed:2
+      ~build:(fun ctx ->
+        {
+          Engine.on_message =
+            (fun ~src msg ->
+              match msg with
+              | Types.CommitFloor { upto } -> ctx.Engine.send src (Types.CommitFloor { upto = upto + 1 })
+              | _ -> ());
+          on_timer = (fun ~tid:_ ~tag:_ -> ());
+        })
+      ()
+  in
+  let pinger =
+    Node.create ~port_of ~id_of_port ~id:2 ~seed:3
+      ~build:(fun ctx ->
+        ctx.Engine.send 3 (Types.CommitFloor { upto = 41 });
+        {
+          Engine.on_message =
+            (fun ~src:_ msg ->
+              match msg with Types.CommitFloor { upto } -> got := upto | _ -> ());
+          on_timer = (fun ~tid:_ ~tag:_ -> ());
+        })
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while !got < 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Node.shutdown echo;
+  Node.shutdown pinger;
+  Alcotest.(check int) "echoed +1" 42 !got
+
+let test_shutdown_idempotent () =
+  let node =
+    Node.create ~port_of ~id_of_port ~id:4 ~seed:1
+      ~build:(fun _ ->
+        { Engine.on_message = (fun ~src:_ _ -> ()); on_timer = (fun ~tid:_ ~tag:_ -> ()) })
+      ()
+  in
+  Node.shutdown node;
+  Node.shutdown node;
+  (* And the port is rebindable afterwards. *)
+  let node2 =
+    Node.create ~port_of ~id_of_port ~id:4 ~seed:1
+      ~build:(fun _ ->
+        { Engine.on_message = (fun ~src:_ _ -> ()); on_timer = (fun ~tid:_ ~tag:_ -> ()) })
+      ()
+  in
+  Node.shutdown node2
+
+let suite =
+  [
+    Alcotest.test_case "timers fire in order" `Slow test_timers_fire_in_order;
+    Alcotest.test_case "timer cancel" `Slow test_timer_cancel;
+    Alcotest.test_case "echo roundtrip" `Slow test_echo_roundtrip;
+    Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+  ]

@@ -1,0 +1,233 @@
+(* Tests of ballots, configurations, and wire types. *)
+
+module Ballot = Cp_proto.Ballot
+module Config = Cp_proto.Config
+module Types = Cp_proto.Types
+
+(* --- Ballot ----------------------------------------------------------- *)
+
+let arb_ballot =
+  QCheck.map
+    (fun (r, l) -> Ballot.make ~round:r ~leader:l)
+    QCheck.(pair (int_range 0 20) (int_range 0 10))
+
+let test_ballot_bottom_minimal () =
+  for round = 0 to 5 do
+    for leader = 0 to 5 do
+      Alcotest.(check bool) "bottom < any" true
+        Ballot.(bottom < Ballot.make ~round ~leader)
+    done
+  done
+
+let test_ballot_succ_round0 () =
+  let b = Ballot.succ_for Ballot.bottom ~leader:3 in
+  Alcotest.(check int) "round 0" 0 b.Ballot.round;
+  Alcotest.(check int) "leader 3" 3 b.Ballot.leader
+
+let prop_ballot_order_total =
+  QCheck.Test.make ~name:"ballot ordering is a total order" ~count:500
+    QCheck.(triple arb_ballot arb_ballot arb_ballot)
+    (fun (a, b, c) ->
+      let antisym = not (Ballot.(a < b) && Ballot.(b < a)) in
+      let trans = (not (Ballot.(a < b) && Ballot.(b < c))) || Ballot.(a < c) in
+      let total = Ballot.(a < b) || Ballot.(b < a) || Ballot.equal a b in
+      antisym && trans && total)
+
+let prop_ballot_succ_greater =
+  QCheck.Test.make ~name:"succ_for is greater and owned" ~count:500
+    QCheck.(pair arb_ballot (int_range 0 10))
+    (fun (b, leader) ->
+      let s = Ballot.succ_for b ~leader in
+      Ballot.(b < s) && s.Ballot.leader = leader)
+
+let prop_ballot_succ_minimal =
+  QCheck.Test.make ~name:"succ_for yields the smallest owned ballot above" ~count:500
+    QCheck.(pair arb_ballot (int_range 0 10))
+    (fun (b, leader) ->
+      let s = Ballot.succ_for b ~leader in
+      (* No ballot owned by [leader] lies strictly between b and s. *)
+      let smaller_round = Ballot.make ~round:(s.Ballot.round - 1) ~leader in
+      (not Ballot.(b < smaller_round)) || Ballot.equal smaller_round s)
+
+(* --- Config ----------------------------------------------------------- *)
+
+let test_cheap_shape () =
+  for f = 0 to 4 do
+    let cfg = Config.cheap ~f in
+    Alcotest.(check int) "mains" (f + 1) (List.length cfg.Config.mains);
+    Alcotest.(check int) "active auxes" f (List.length (Config.active_auxes cfg));
+    Alcotest.(check int) "acceptors" ((2 * f) + 1) (List.length (Config.acceptors cfg));
+    Alcotest.(check int) "quorum" (f + 1) (Config.quorum_size cfg);
+    Alcotest.(check bool) "mains are majority" true (Config.mains_are_majority cfg);
+    Alcotest.(check bool) "cheap invariant" true (Cheap_paxos.Cheap.invariant cfg);
+    Alcotest.(check bool) "quorum intersection" true
+      (Cheap_paxos.Cheap.quorum_intersection cfg);
+    Alcotest.(check int) "tolerates f" f (Cheap_paxos.Cheap.tolerates cfg)
+  done
+
+let test_classic_shape () =
+  let cfg = Config.classic ~n:5 in
+  Alcotest.(check int) "mains" 5 (List.length cfg.Config.mains);
+  Alcotest.(check (list int)) "no auxes" [] (Config.active_auxes cfg);
+  Alcotest.(check int) "quorum" 3 (Config.quorum_size cfg)
+
+let test_make_validation () =
+  Alcotest.check_raises "empty mains" (Invalid_argument "Config.make: empty mains")
+    (fun () -> ignore (Config.make ~epoch:0 ~mains:[] ~aux_pool:[ 1 ]));
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Config.make: mains and aux_pool intersect") (fun () ->
+      ignore (Config.make ~epoch:0 ~mains:[ 0; 1 ] ~aux_pool:[ 1; 2 ]))
+
+let test_remove_main () =
+  let cfg = Config.cheap ~f:2 in
+  (match Config.remove_main cfg 1 with
+  | None -> Alcotest.fail "removal refused"
+  | Some cfg' ->
+    Alcotest.(check (list int)) "mains" [ 0; 2 ] cfg'.Config.mains;
+    Alcotest.(check (list int)) "one aux deactivated" [ 3 ] (Config.active_auxes cfg');
+    Alcotest.(check int) "epoch bumped" 1 cfg'.Config.epoch;
+    Alcotest.(check bool) "invariant preserved" true (Cheap_paxos.Cheap.invariant cfg'));
+  Alcotest.(check bool) "remove non-main" true (Config.remove_main cfg 4 = None);
+  let single = Config.make ~epoch:0 ~mains:[ 0 ] ~aux_pool:[] in
+  Alcotest.(check bool) "remove last main refused" true (Config.remove_main single 0 = None)
+
+let test_add_main () =
+  let cfg = Config.cheap ~f:1 in
+  let cfg' = Option.get (Config.remove_main cfg 1) in
+  (match Config.add_main cfg' 1 with
+  | None -> Alcotest.fail "add refused"
+  | Some cfg'' ->
+    Alcotest.(check (list int)) "mains restored" [ 0; 1 ] cfg''.Config.mains;
+    Alcotest.(check (list int)) "aux active again" [ 2 ] (Config.active_auxes cfg''));
+  Alcotest.(check bool) "add existing main" true (Config.add_main cfg 0 = None);
+  (* Promoting an aux pool member makes it a main and removes it from pool. *)
+  match Config.add_main cfg 2 with
+  | None -> Alcotest.fail "promotion refused"
+  | Some promoted ->
+    Alcotest.(check (list int)) "promoted" [ 0; 1; 2 ] promoted.Config.mains;
+    Alcotest.(check (list int)) "pool drained" [] (Config.active_auxes promoted)
+
+let test_is_quorum () =
+  let cfg = Config.cheap ~f:1 in
+  (* acceptors {0,1,2}, quorum 2 *)
+  Alcotest.(check bool) "mains quorum" true (Config.is_quorum cfg [ 0; 1 ]);
+  Alcotest.(check bool) "main+aux quorum" true (Config.is_quorum cfg [ 1; 2 ]);
+  Alcotest.(check bool) "single no" false (Config.is_quorum cfg [ 0 ]);
+  Alcotest.(check bool) "non-acceptors don't count" false (Config.is_quorum cfg [ 0; 9; 10 ]);
+  Alcotest.(check bool) "duplicates don't count" false (Config.is_quorum cfg [ 0; 0 ])
+
+(* Random sequences of remove/add keep the Cheap Paxos invariant. *)
+let prop_reconfig_invariant =
+  QCheck.Test.make ~name:"invariant preserved by any remove/add sequence" ~count:300
+    QCheck.(list (pair bool (int_range 0 6)))
+    (fun script ->
+      let cfg = ref (Config.cheap ~f:3) in
+      List.iter
+        (fun (is_remove, id) ->
+          let next =
+            if is_remove then Config.remove_main !cfg id else Config.add_main !cfg id
+          in
+          match next with Some c -> cfg := c | None -> ())
+        script;
+      Cheap_paxos.Cheap.invariant !cfg && Cheap_paxos.Cheap.quorum_intersection !cfg)
+
+(* --- Types ------------------------------------------------------------ *)
+
+let all_msgs =
+  let b = Ballot.make ~round:1 ~leader:0 in
+  let cmd = { Types.client = 9; seq = 2; op = "PUT k v" } in
+  [
+    Types.P1a { ballot = b; low = 0 };
+    Types.P1b
+      { ballot = b; from = 1; votes = [ (0, { Types.vballot = b; ventry = Types.Noop }) ];
+        compacted_upto = 0 };
+    Types.P1Nack { ballot = b; promised = b };
+    Types.P2a { ballot = b; instance = 3; entry = Types.App cmd };
+    Types.P2b { ballot = b; instance = 3; from = 2 };
+    Types.P2Nack { ballot = b; instance = 3; promised = b };
+    Types.Commit { instance = 3; entry = Types.Reconfig (Types.Remove_main 1) };
+    Types.CommitFloor { upto = 5 };
+    Types.Heartbeat { ballot = b; commit_floor = 4; sent_at = 1.0 };
+    Types.HeartbeatAck { ballot = b; from = 1; prefix = 4; echo = 1.0 };
+    Types.CatchupReq { from = 1; from_instance = 0 };
+    Types.CatchupResp { entries = [ (0, Types.Noop) ]; snapshot = None };
+    Types.JoinReq { from = 3 };
+    Types.ClientReq cmd;
+    Types.ClientResp { client = 9; seq = 2; result = "OK" };
+    Types.Redirect { leader_hint = 0 };
+  ]
+
+let test_classify_distinct () =
+  let kinds = List.map Types.classify all_msgs in
+  Alcotest.(check int) "all kinds distinct" (List.length kinds)
+    (List.length (List.sort_uniq compare kinds))
+
+let test_sizes_positive () =
+  List.iter
+    (fun m -> Alcotest.(check bool) (Types.classify m) true (Types.size_of m > 0))
+    all_msgs
+
+let test_size_grows_with_payload () =
+  let small = Types.ClientReq { client = 0; seq = 1; op = "x" } in
+  let large = Types.ClientReq { client = 0; seq = 1; op = String.make 100 'x' } in
+  Alcotest.(check bool) "payload counted" true (Types.size_of large > Types.size_of small)
+
+let test_entry_equal () =
+  let cmd = { Types.client = 1; seq = 2; op = "a" } in
+  Alcotest.(check bool) "noop=noop" true (Types.entry_equal Types.Noop Types.Noop);
+  Alcotest.(check bool) "app=app" true (Types.entry_equal (Types.App cmd) (Types.App cmd));
+  Alcotest.(check bool) "app<>app'" false
+    (Types.entry_equal (Types.App cmd) (Types.App { cmd with op = "b" }));
+  Alcotest.(check bool) "noop<>app" false (Types.entry_equal Types.Noop (Types.App cmd));
+  Alcotest.(check bool) "reconfig" true
+    (Types.entry_equal
+       (Types.Reconfig (Types.Add_main 1))
+       (Types.Reconfig (Types.Add_main 1)));
+  Alcotest.(check bool) "reconfig diff" false
+    (Types.entry_equal
+       (Types.Reconfig (Types.Add_main 1))
+       (Types.Reconfig (Types.Remove_main 1)))
+
+let test_pp_smoke () =
+  List.iter
+    (fun m ->
+      let s = Format.asprintf "%a" Types.pp_msg m in
+      Alcotest.(check bool) "non-empty" true (String.length s > 0))
+    all_msgs
+
+(* --- Analysis --------------------------------------------------------- *)
+
+let test_analysis_model () =
+  let module A = Cheap_paxos.Analysis in
+  Alcotest.(check int) "cheap works f+1" 3 (A.working_machines A.Cheap ~f:2);
+  Alcotest.(check int) "classic works 2f+1" 5 (A.working_machines A.Classic ~f:2);
+  Alcotest.(check int) "cheap msgs 3f" 6 (A.messages_per_commit A.Cheap ~f:2);
+  Alcotest.(check int) "classic msgs 6f" 12 (A.messages_per_commit A.Classic ~f:2);
+  Alcotest.(check int) "aux msgs 0" 0 (A.aux_messages_per_commit A.Cheap ~f:2);
+  Alcotest.(check int) "machines equal" (A.machines A.Cheap ~f:3)
+    (A.machines A.Classic ~f:3)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suite =
+  [
+    Alcotest.test_case "ballot bottom minimal" `Quick test_ballot_bottom_minimal;
+    Alcotest.test_case "ballot succ from bottom" `Quick test_ballot_succ_round0;
+    Alcotest.test_case "cheap config shape" `Quick test_cheap_shape;
+    Alcotest.test_case "classic config shape" `Quick test_classic_shape;
+    Alcotest.test_case "config validation" `Quick test_make_validation;
+    Alcotest.test_case "remove main" `Quick test_remove_main;
+    Alcotest.test_case "add main" `Quick test_add_main;
+    Alcotest.test_case "is_quorum" `Quick test_is_quorum;
+    Alcotest.test_case "classify distinct" `Quick test_classify_distinct;
+    Alcotest.test_case "sizes positive" `Quick test_sizes_positive;
+    Alcotest.test_case "size grows with payload" `Quick test_size_grows_with_payload;
+    Alcotest.test_case "entry_equal" `Quick test_entry_equal;
+    Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+    Alcotest.test_case "analysis model" `Quick test_analysis_model;
+  ]
+  @ qsuite
+      [
+        prop_ballot_order_total; prop_ballot_succ_greater; prop_ballot_succ_minimal;
+        prop_reconfig_invariant;
+      ]

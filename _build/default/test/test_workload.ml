@@ -1,0 +1,114 @@
+(* Tests of the workload generators. *)
+
+module Workload = Cp_workload.Workload
+module Rng = Cp_util.Rng
+
+let drain gen =
+  let rec go seq acc =
+    match gen seq with None -> List.rev acc | Some op -> go (seq + 1) (op :: acc)
+  in
+  go 1 []
+
+let test_counter_ops () =
+  let ops = drain (Workload.counter_ops ~count:5) in
+  Alcotest.(check int) "count" 5 (List.length ops);
+  List.iter (fun op -> Alcotest.(check string) "inc" "INC 1" op) ops
+
+let test_kv_ops_shape () =
+  let rng = Rng.create 1 in
+  let gen = Workload.kv_ops ~rng ~keys:4 ~read_ratio:0.5 ~count:200 () in
+  let ops = drain gen in
+  Alcotest.(check int) "count" 200 (List.length ops);
+  let reads = List.length (List.filter (fun op -> String.sub op 0 3 = "GET") ops) in
+  Alcotest.(check bool)
+    (Printf.sprintf "read ratio sane (%d/200)" reads)
+    true
+    (reads > 60 && reads < 140);
+  (* All keys within range. *)
+  List.iter
+    (fun op ->
+      match String.split_on_char ' ' op with
+      | "GET" :: k :: _ | "PUT" :: k :: _ ->
+        let i = int_of_string (String.sub k 1 (String.length k - 1)) in
+        Alcotest.(check bool) "key in range" true (i >= 0 && i < 4)
+      | _ -> Alcotest.fail ("unexpected op " ^ op))
+    ops
+
+let test_kv_value_size () =
+  let rng = Rng.create 2 in
+  let gen = Workload.kv_ops ~rng ~keys:2 ~read_ratio:0. ~value_size:32 ~count:20 () in
+  List.iter
+    (fun op ->
+      match String.split_on_char ' ' op with
+      | [ "PUT"; _; v ] -> Alcotest.(check int) "value size" 32 (String.length v)
+      | _ -> Alcotest.fail "expected PUT")
+    (drain gen)
+
+let test_zipf_skew () =
+  let rng = Rng.create 3 in
+  let sample = Workload.zipf_sampler rng ~n:10 ~s:1.2 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let i = sample () in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "head heavier than tail" true (counts.(0) > 4 * counts.(9));
+  Alcotest.(check bool) "head heavier than middle" true (counts.(0) > counts.(4));
+  (* s = 0 degenerates to uniform. *)
+  let uniform = Workload.zipf_sampler rng ~n:10 ~s:0. in
+  let ucounts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    ucounts.(uniform ()) <- ucounts.(uniform ()) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 700 && c < 1300))
+    ucounts
+
+let test_bank_generators () =
+  let setup = drain (Workload.bank_setup_ops ~accounts:3 ~balance:100) in
+  Alcotest.(check (list string)) "setup"
+    [ "OPEN a0 100"; "OPEN a1 100"; "OPEN a2 100" ]
+    setup;
+  let rng = Rng.create 4 in
+  let ops = drain (Workload.bank_ops ~rng ~accounts:3 ~read_ratio:0.3 ~count:100 ()) in
+  Alcotest.(check int) "count" 100 (List.length ops);
+  List.iter
+    (fun op ->
+      match String.split_on_char ' ' op with
+      | [ "TRANSFER"; _; _; amt ] ->
+        let a = int_of_string amt in
+        Alcotest.(check bool) "amount 1..10" true (a >= 1 && a <= 10)
+      | [ "BALANCE"; _ ] -> ()
+      | _ -> Alcotest.fail ("unexpected " ^ op))
+    ops
+
+let test_lock_and_fifo_generators () =
+  let lock = drain (Workload.lock_ops ~owner:"w" ~lock:"l" ~count:4) in
+  Alcotest.(check (list string)) "lock alternates"
+    [ "ACQUIRE w l"; "RELEASE w l"; "ACQUIRE w l"; "RELEASE w l" ]
+    lock;
+  let rng = Rng.create 5 in
+  let fifo = drain (Workload.fifo_ops ~rng ~push_ratio:1.0 ~count:3 ()) in
+  Alcotest.(check int) "fifo count" 3 (List.length fifo);
+  List.iter
+    (fun op -> Alcotest.(check bool) "push" true (String.sub op 0 4 = "PUSH"))
+    fifo
+
+let test_determinism () =
+  let gen seed =
+    let rng = Rng.create seed in
+    drain (Workload.kv_ops ~rng ~keys:8 ~read_ratio:0.4 ~count:50 ())
+  in
+  Alcotest.(check bool) "same seed same ops" true (gen 9 = gen 9);
+  Alcotest.(check bool) "different seeds differ" true (gen 9 <> gen 10)
+
+let suite =
+  [
+    Alcotest.test_case "counter ops" `Quick test_counter_ops;
+    Alcotest.test_case "kv ops shape" `Quick test_kv_ops_shape;
+    Alcotest.test_case "kv value size" `Quick test_kv_value_size;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "bank generators" `Quick test_bank_generators;
+    Alcotest.test_case "lock and fifo generators" `Quick test_lock_and_fifo_generators;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]
