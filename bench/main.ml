@@ -142,12 +142,58 @@ let run_microbenches () =
   Cp_util.Table.print ~title:"Microbenchmarks (bechamel, monotonic clock)" table
 
 (* ------------------------------------------------------------------ *)
+(* Observability snapshot: one fixed failure-free scenario's command-   *)
+(* latency span percentiles and auxiliary traffic, written as JSON so   *)
+(* successive bench runs can be diffed mechanically.                    *)
+(* ------------------------------------------------------------------ *)
+
+let write_obs_snapshot () =
+  let module Scenario = Cp_harness.Scenario in
+  let count = if quick then 100 else 400 in
+  let spec =
+    {
+      (Scenario.default_spec ~sys:(Scenario.Cheap 1)) with
+      Scenario.seed = 42;
+      ops_per_client = count;
+      mk_ops = (fun ~client_idx:_ seq -> Cp_workload.Workload.counter_ops ~count seq);
+    }
+  in
+  let r = Scenario.run spec in
+  let spans = Scenario.span_summaries r in
+  let summary_json (name, (s : Cp_util.Stats.summary)) =
+    Printf.sprintf
+      "    {\"phase\":%S,\"count\":%d,\"mean\":%.6f,\"p50\":%.6f,\"p90\":%.6f,\"p99\":%.6f}"
+      name s.Cp_util.Stats.count s.Cp_util.Stats.mean s.Cp_util.Stats.p50
+      s.Cp_util.Stats.p90 s.Cp_util.Stats.p99
+  in
+  let aux_recv_events =
+    List.length
+      (List.filter
+         (fun (rc : Cp_obs.Trace.record) ->
+           List.mem rc.Cp_obs.Trace.node (Scenario.aux_ids r)
+           && match rc.Cp_obs.Trace.ev with Cp_obs.Event.Msg_recv _ -> true | _ -> false)
+         (Scenario.trace r))
+  in
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"completed\": %d,\n" r.Scenario.completed;
+  Printf.fprintf oc "  \"wall\": %.6f,\n" r.Scenario.wall;
+  Printf.fprintf oc "  \"aux_msgs_received\": %d,\n" (Scenario.aux_msgs_received r);
+  Printf.fprintf oc "  \"aux_recv_events\": %d,\n" aux_recv_events;
+  Printf.fprintf oc "  \"protocol_msgs_per_commit\": %.3f,\n"
+    (Scenario.protocol_msgs_per_commit r);
+  Printf.fprintf oc "  \"spans\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map summary_json spans));
+  close_out oc;
+  Printf.printf "wrote BENCH_obs.json (%d ops, %d span phases, %d aux recv events)\n"
+    r.Scenario.completed (List.length spans) aux_recv_events
 
 let () =
   Printf.printf "Cheap Paxos evaluation%s\n" (if quick then " (quick mode)" else "");
   let outcomes = Cp_harness.Experiments.run_all ~quick () in
   Cp_util.Table.print ~title:"Claim-by-claim verdicts"
     (Cp_harness.Outcome.to_table outcomes);
+  write_obs_snapshot ();
   run_microbenches ();
   if Cp_harness.Outcome.all_pass outcomes then print_endline "\nALL CLAIMS REPRODUCED"
   else begin

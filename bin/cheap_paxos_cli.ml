@@ -69,7 +69,7 @@ let experiments_cmd =
           Stdlib.exit (run_experiments quick (List.map String.lowercase_ascii only) csv))
       $ quick_flag $ only_arg $ csv_arg)
 
-let run_demo seed trace =
+let run_demo seed trace trace_jsonl =
   let module Cluster = Cp_runtime.Cluster in
   let module Faults = Cp_runtime.Faults in
   let initial = Cheap_paxos.Cheap.initial_config ~f:1 in
@@ -78,11 +78,13 @@ let run_demo seed trace =
       ~app:(module Cp_smr.Kv) ()
   in
   if trace then
-    Cp_sim.Engine.set_tracer (Cluster.engine cluster) (fun time node line ->
-        Printf.printf "%8.4fs  n%d  %s\n" time node line);
+    Cp_sim.Engine.on_event (Cluster.engine cluster) (fun r ->
+        Format.printf "%a@." Cp_obs.Trace.pp_record r);
   let rng = Cp_util.Rng.create seed in
   let ops = Cp_workload.Workload.kv_ops ~rng ~keys:8 ~read_ratio:0.4 ~count:60 () in
-  let _, client = Cluster.add_client cluster ~ops () in
+  (* A little think time stretches the run past the fault window, so the
+     trace actually shows the failover story (engage → remove → quiesce). *)
+  let _, client = Cluster.add_client cluster ~think:2e-3 ~ops () in
   Faults.schedule cluster [ (0.02, Faults.Crash 1); (0.2, Faults.Restart 1) ];
   let finished =
     Cluster.run_until cluster ~deadline:5. (fun () -> Cp_smr.Client.is_finished client)
@@ -90,6 +92,14 @@ let run_demo seed trace =
   Printf.printf "\nfinished=%b ops=%d leader=%s\n" finished
     (Cp_smr.Client.done_count client)
     (match Cluster.leader cluster with Some l -> string_of_int l | None -> "none");
+  (match trace_jsonl with
+  | None -> ()
+  | Some path ->
+    let records = Cp_runtime.Inspect.trace_dump cluster in
+    let oc = open_out path in
+    output_string oc (Cp_obs.Trace.to_jsonl records);
+    close_out oc;
+    Printf.printf "wrote %d trace records to %s\n" (List.length records) path);
   (match Cp_runtime.Inspect.check_safety cluster with
   | Ok () -> print_endline "safety: OK"
   | Error e -> Printf.printf "safety: VIOLATION: %s\n" e);
@@ -98,9 +108,18 @@ let run_demo seed trace =
 let demo_cmd =
   let doc = "Run a small Cheap Paxos cluster with a crash/restart, optionally traced." in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.") in
-  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Print protocol trace lines.") in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print typed protocol events as they happen.")
+  in
+  let trace_jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-jsonl" ] ~docv:"FILE"
+          ~doc:"Dump the merged cluster event trace to $(docv) as JSON lines.")
+  in
   Cmd.v (Cmd.info "demo" ~doc)
-    Term.(const (fun s t -> Stdlib.exit (run_demo s t)) $ seed $ trace)
+    Term.(const (fun s t j -> Stdlib.exit (run_demo s t j)) $ seed $ trace $ trace_jsonl)
 
 (* ------------------------------------------------------------------ *)
 (* Real multi-process cluster: `node` runs one machine over UDP,      *)

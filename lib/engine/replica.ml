@@ -3,6 +3,7 @@ module Engine = Cp_sim.Engine
 module Stable = Cp_sim.Stable
 module Metrics = Cp_sim.Metrics
 module Rng = Cp_util.Rng
+module Obs = Cp_obs
 
 type role = Main | Aux
 
@@ -104,6 +105,7 @@ type t = {
       (* while [now < lease_gate_until] a main refuses phase-1 promises:
          some leader may be serving lease reads on our silence. Advanced on
          every leader contact and on recovery; 0 on a fresh boot. *)
+  spans : Obs.Span.t; (* leader-side submit→chosen→executed latency spans *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -114,7 +116,13 @@ let now t = t.ctx.Engine.now ()
 
 let send t dst msg = t.ctx.Engine.send dst msg
 
-let tracef t fmt = Format.kasprintf t.ctx.Engine.trace fmt
+let event t ev = t.ctx.Engine.emit ev
+
+let tracef t fmt = Format.kasprintf (fun s -> event t (Obs.Event.Debug s)) fmt
+
+let obs_change = function
+  | Types.Remove_main m -> Obs.Event.Remove_main m
+  | Types.Add_main m -> Obs.Event.Add_main m
 
 let metric t ?by name = Metrics.incr t.ctx.Engine.metrics ?by name
 
@@ -209,6 +217,7 @@ let exec_reconfig t r =
       | Types.Remove_main _ -> "reconfig_remove"
       | Types.Add_main _ -> "reconfig_add");
     observe t "reconfig_at" (now t);
+    event t (Obs.Event.Reconfig_committed { change = obs_change r; at = t.executed_ });
     (match t.state with
     | Leader lead ->
       lead.l_reconfig_inflight <- false;
@@ -232,6 +241,8 @@ let execute_ready t =
       | Some (Types.App cmd) -> exec_app t cmd
       | Some (Types.Batch cmds) -> List.iter (exec_app t) cmds
       | Some (Types.Reconfig r) -> exec_reconfig t r);
+      event t (Obs.Event.Command_executed { instance = t.executed_ });
+      Obs.Span.executed t.spans ~instance:t.executed_ ~at:(now t);
       t.executed_ <- t.executed_ + 1
     done;
     maybe_snapshot t
@@ -255,6 +266,15 @@ let learn t i entry =
 (* ------------------------------------------------------------------ *)
 
 let active_auxes_for t i = Config.active_auxes (Configs.config_for t.configs i)
+
+(* Mark the leadership aux-engaged through [instance], emitting the
+   engagement event only on the idle→engaged flip. *)
+let engage t lead ~instance =
+  if not lead.l_engaged then begin
+    lead.l_engaged <- true;
+    event t (Obs.Event.Aux_engaged { instance })
+  end;
+  lead.l_aux_high <- max lead.l_aux_high (instance + 1)
 
 (* The floor the leader may announce to auxiliaries: the minimum chosen
    prefix across the mains of the latest config (so every compacted instance
@@ -281,7 +301,10 @@ let update_aux_floor t lead =
       List.iter (fun a -> send t a (Types.CommitFloor { upto = floor })) t.universe_auxes;
       (* The engagement ends only when the auxiliaries can have compacted
          every vote they might hold; until then keep pushing floors. *)
-      if floor >= lead.l_aux_high then lead.l_engaged <- false
+      if floor >= lead.l_aux_high then begin
+        lead.l_engaged <- false;
+        event t (Obs.Event.Aux_quiesced { floor })
+      end
     end
   end
 
@@ -312,10 +335,15 @@ let rec check_chosen t lead i =
       observe t "commit_latency" (now t -. p.p_started);
       metric t "chosen";
       let auxes = active_auxes_for t i in
-      if List.exists (fun a -> List.mem a p.p_acks) auxes then begin
-        lead.l_engaged <- true;
-        lead.l_aux_high <- max lead.l_aux_high (i + 1)
-      end;
+      if List.exists (fun a -> List.mem a p.p_acks) auxes then engage t lead ~instance:i;
+      let cmd_keys =
+        match p.p_entry with
+        | Types.App c -> [ (c.Types.client, c.Types.seq) ]
+        | Types.Batch cs -> List.map (fun c -> (c.Types.client, c.Types.seq)) cs
+        | Types.Noop | Types.Reconfig _ -> []
+      in
+      event t (Obs.Event.Command_chosen { instance = i; batch = List.length cmd_keys });
+      Obs.Span.chosen t.spans ~instance:i ~cmds:cmd_keys ~at:(now t);
       ignore (learn t i p.p_entry);
       List.iter
         (fun m -> if m <> t.ctx.Engine.self then send t m (Types.Commit { instance = i; entry = p.p_entry }))
@@ -342,12 +370,12 @@ and propose_at t lead i entry =
       p_last_send = now t;
     }
   in
-  if widened then begin
-    lead.l_engaged <- true;
-    lead.l_aux_high <- max lead.l_aux_high (i + 1)
-  end;
+  if widened then engage t lead ~instance:i;
   Hashtbl.replace lead.l_pending i p;
   metric t "proposed";
+  (match entry with
+  | Types.Reconfig r -> event t (Obs.Event.Reconfig_proposed (obs_change r))
+  | Types.Noop | Types.App _ | Types.Batch _ -> ());
   List.iter
     (fun dst -> send t dst (Types.P2a { ballot = lead.l_ballot; instance = i; entry }))
     (phase2_targets t cfg ~widened);
@@ -471,6 +499,9 @@ let become_candidate t =
   in
   t.state <- Candidate c;
   metric t "elections_started";
+  event t
+    (Obs.Event.Ballot_started
+       { round = ballot.Ballot.round; leader = ballot.Ballot.leader; low = c.c_low });
   tracef t "candidate %a low=%d" Ballot.pp ballot c.c_low;
   (* Self-promise. *)
   let acc, res = Acceptor.handle_p1a t.acceptor ~ballot ~low:c.c_low in
@@ -532,8 +563,22 @@ let become_leader t (c : candidate) =
     c.c_votes;
   Queue.transfer t.pre_queue lead.l_queue;
   t.state <- Leader lead;
-  t.leader_hint_ <- t.ctx.Engine.self;
+  if t.leader_hint_ <> t.ctx.Engine.self then begin
+    t.leader_hint_ <- t.ctx.Engine.self;
+    event t (Obs.Event.Leader_changed { leader = t.ctx.Engine.self })
+  end;
   metric t "elections_won";
+  Obs.Span.reset t.spans;
+  event t
+    (Obs.Event.Ballot_won { round = c.c_ballot.Ballot.round; leader = c.c_ballot.Ballot.leader });
+  if c.c_widened then event t (Obs.Event.Aux_engaged { instance = max 0 (stop - 1) });
+  (* Requests held in [pre_queue] during the campaign were never recorded as
+     submitted; stamp them now so their latency spans start at acceptance. *)
+  Queue.iter
+    (fun (cmd : Types.command) ->
+      event t (Obs.Event.Command_submitted { client = cmd.Types.client; seq = cmd.Types.seq });
+      Obs.Span.submitted t.spans ~client:cmd.Types.client ~seq:cmd.Types.seq ~at:(now t))
+    lead.l_queue;
   tracef t "leader %a" Ballot.pp c.c_ballot;
   (* Re-propose recovered votes (gaps become Noop) — via [pump], which
      respects the α-window; anything beyond it drains as the prefix moves. *)
@@ -568,6 +613,10 @@ let step_down t ballot =
   (match t.state with
   | Leader _ | Candidate _ ->
     tracef t "step down for %a" Ballot.pp ballot;
+    event t
+      (Obs.Event.Stepped_down
+         { round = ballot.Ballot.round; leader = ballot.Ballot.leader });
+    Obs.Span.reset t.spans;
     t.state <- Follower;
     Queue.clear t.pre_queue;
     draw_fuzz t
@@ -581,7 +630,10 @@ let step_down t ballot =
 let note_leader_contact t ballot src =
   if Ballot.(t.max_seen <= ballot) then begin
     t.max_seen <- ballot;
-    t.leader_hint_ <- src;
+    if t.leader_hint_ <> src then begin
+      t.leader_hint_ <- src;
+      event t (Obs.Event.Leader_changed { leader = src })
+    end;
     t.last_leader_contact <- now t;
     if t.params.Params.enable_leases then
       t.lease_gate_until <- now t +. t.params.Params.lease_guard
@@ -815,6 +867,8 @@ let on_client_req t (cmd : Types.command) =
     | `Evicted -> () (* ancient duplicate: reply evicted, nothing to say *)
     | `New ->
       if not (Hashtbl.mem lead.l_inflight_cmds (cmd.client, cmd.seq)) then begin
+        event t (Obs.Event.Command_submitted { client = cmd.client; seq = cmd.seq });
+        Obs.Span.submitted t.spans ~client:cmd.client ~seq:cmd.seq ~at:(now t);
         Queue.push cmd lead.l_queue;
         pump t lead
       end
@@ -846,8 +900,8 @@ let on_client_read t (cmd : Types.command) =
 let widen t lead i p =
   if not p.p_widened then begin
     p.p_widened <- true;
-    lead.l_engaged <- true;
-    lead.l_aux_high <- max lead.l_aux_high (i + 1);
+    event t (Obs.Event.Phase2_widened { instance = i });
+    engage t lead ~instance:i;
     metric t "aux_engagements";
     observe t "aux_engaged_at" (now t);
     let auxes = active_auxes_for t i in
@@ -1039,6 +1093,8 @@ let create ctx ~role ~policy ~params ~initial ~universe_mains ~universe_auxes
       last_join_sent = neg_infinity;
       last_catchup_sent = neg_infinity;
       lease_gate_until = 0.;
+      spans =
+        Obs.Span.create ~observe:(fun name v -> Metrics.observe ctx.Engine.metrics name v);
     }
   in
   draw_fuzz t;

@@ -95,3 +95,16 @@ let client_latencies r =
 let throughput r = if r.wall > 0. then float_of_int r.completed /. r.wall else 0.
 
 let safety r = Inspect.check_safety r.cluster
+
+let trace r = Inspect.trace_dump r.cluster
+
+let aux_quiescent ?after ?before r = Inspect.aux_quiescent ?after ?before r.cluster
+
+let span_summaries r =
+  List.filter_map
+    (fun name ->
+      let samples =
+        List.concat_map (fun id -> Cluster.series r.cluster id name) (main_ids r)
+      in
+      if samples = [] then None else Some (name, Cp_util.Stats.summarize samples))
+    Cp_obs.Span.phases

@@ -60,3 +60,14 @@ val throughput : result -> float
 (** completed ops / simulated duration. *)
 
 val safety : result -> (unit, string) Stdlib.result
+
+val trace : result -> Cp_obs.Trace.record list
+(** Merged cluster-wide event trace (see {!Cp_runtime.Inspect.trace_dump}). *)
+
+val aux_quiescent :
+  ?after:float -> ?before:float -> result -> (unit, string) Stdlib.result
+(** Trace-checked auxiliary quiescence over the window (default: whole run). *)
+
+val span_summaries : result -> (string * Cp_util.Stats.summary) list
+(** Command-latency span percentiles — one summary per
+    {!Cp_obs.Span.phases} name that collected samples, across mains. *)

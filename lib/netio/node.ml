@@ -1,6 +1,7 @@
 module Engine = Cp_sim.Engine
 module Types = Cp_proto.Types
 module Codec = Cp_proto.Codec
+module Obs = Cp_obs
 
 type timer = {
   deadline : float;
@@ -22,6 +23,8 @@ type t = {
   mutable stopping : bool;
   mutable threads : Thread.t list;
   start : float;
+  metrics : Cp_sim.Metrics.t;
+  trace_ : Obs.Trace.t;
 }
 
 let now t = Unix.gettimeofday () -. t.start
@@ -32,6 +35,9 @@ let with_lock t f =
 
 let send t dst msg =
   let payload = Codec.encode msg in
+  Cp_sim.Metrics.incr t.metrics "msgs_sent";
+  Cp_sim.Metrics.incr t.metrics ~by:(String.length payload) "bytes_sent";
+  Cp_sim.Metrics.incr t.metrics ("sent." ^ Types.classify msg);
   try
     ignore
       (Unix.sendto t.sock (Bytes.of_string payload) 0 (String.length payload) []
@@ -107,6 +113,12 @@ let recv_loop t =
           Fun.protect
             ~finally:(fun () -> Mutex.unlock t.lock)
             (fun () ->
+              let kind = Types.classify msg in
+              Cp_sim.Metrics.incr t.metrics "msgs_recv";
+              Cp_sim.Metrics.incr t.metrics ~by:len "bytes_recv";
+              Cp_sim.Metrics.incr t.metrics ("recv." ^ kind);
+              Obs.Trace.emit t.trace_ ~at:(now t) ~node:t.id
+                (Obs.Event.Msg_recv { src; kind });
               match t.handlers with
               | Some h -> h.Engine.on_message ~src msg
               | None -> ()));
@@ -115,7 +127,8 @@ let recv_loop t =
   in
   loop ()
 
-let create ?(host = "127.0.0.1") ~port_of ~id_of_port ~id ~seed ~build () =
+let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity) ~port_of
+    ~id_of_port ~id ~seed ~build () =
   let inet = Unix.inet_addr_of_string host in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -135,6 +148,8 @@ let create ?(host = "127.0.0.1") ~port_of ~id_of_port ~id ~seed ~build () =
       stopping = false;
       threads = [];
       start = Unix.gettimeofday ();
+      metrics = Cp_sim.Metrics.create ();
+      trace_ = Obs.Trace.create ~capacity:trace_capacity ();
     }
   in
   let ctx =
@@ -147,8 +162,8 @@ let create ?(host = "127.0.0.1") ~port_of ~id_of_port ~id ~seed ~build () =
       cancel_timer = (fun tid -> cancel_timer t tid);
       rng = Cp_util.Rng.create ((seed * 1009) + id);
       stable = Cp_sim.Stable.create ();
-      metrics = Cp_sim.Metrics.create ();
-      trace = (fun _ -> ());
+      metrics = t.metrics;
+      emit = (fun ev -> Obs.Trace.emit t.trace_ ~at:(now t) ~node:id ev);
     }
   in
   Mutex.lock t.lock;
@@ -158,6 +173,15 @@ let create ?(host = "127.0.0.1") ~port_of ~id_of_port ~id ~seed ~build () =
   t
 
 let run_for _t seconds = Thread.delay seconds
+
+let metrics t = t.metrics
+
+let trace t = t.trace_
+
+let metrics_text t =
+  let snap = with_lock t (fun () -> Cp_sim.Metrics.snapshot t.metrics) in
+  Obs.Prom.render ~counters:snap.Cp_sim.Metrics.counters
+    ~summaries:snap.Cp_sim.Metrics.summaries ()
 
 let shutdown t =
   if not t.stopping then begin

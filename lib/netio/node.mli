@@ -19,6 +19,7 @@ type t
 
 val create :
   ?host:string ->
+  ?trace_capacity:int ->
   port_of:(int -> int) ->
   id_of_port:(int -> int) ->
   id:int ->
@@ -30,7 +31,9 @@ val create :
     and timer threads. [id_of_port] inverts [port_of] so that the [src]
     passed to handlers is a node id (datagrams carry no explicit sender
     field). [build] receives the fabricated [ctx]; its stable storage is
-    in-memory (per-process), its RNG is seeded from [seed] and [id]. *)
+    in-memory (per-process), its RNG is seeded from [seed] and [id], its
+    [emit] records into a bounded per-node trace ring of [trace_capacity]
+    entries (default {!Cp_obs.Trace.default_capacity}). *)
 
 val run_for : t -> float -> unit
 (** Block the calling thread for that many wall-clock seconds while the
@@ -42,3 +45,18 @@ val shutdown : t -> unit
 val with_lock : t -> (unit -> 'a) -> 'a
 (** Run [f] under the node's handler mutex — for inspecting protocol state
     owned by the node (e.g. a client handle) without racing its threads. *)
+
+val metrics : t -> Cp_sim.Metrics.t
+(** The node's metric store. The runtime feeds the same counters as the
+    simulator's delivery path ([msgs_sent], [msgs_recv], [bytes_*],
+    [sent.<kind>], [recv.<kind>]); protocol code adds its own through the
+    ctx. Take {!with_lock} before reading while threads are live. *)
+
+val trace : t -> Cp_obs.Trace.t
+(** The node's bounded event-trace ring, fed by the ctx [emit] and by a
+    [Msg_recv] record per delivered datagram. *)
+
+val metrics_text : t -> string
+(** Prometheus text-exposition snapshot of {!metrics}: every counter as a
+    [counter] sample and every observation series as a summary with
+    p50/p90/p99 quantiles. Taken under the node's lock. *)

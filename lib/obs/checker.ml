@@ -1,0 +1,163 @@
+type records = Trace.record list
+
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let in_window ?(after = neg_infinity) ?(before = infinity) (r : Trace.record) =
+  r.Trace.at >= after && r.Trace.at <= before
+
+let aux_quiescent ?after ?before ~auxes records =
+  let bad =
+    List.find_opt
+      (fun (r : Trace.record) ->
+        List.mem r.Trace.node auxes
+        && in_window ?after ?before r
+        && match r.Trace.ev with Event.Msg_recv _ -> true | _ -> false)
+      records
+  in
+  match bad with
+  | None -> Ok ()
+  | Some r ->
+    (match r.Trace.ev with
+    | Event.Msg_recv { src; kind } ->
+      err "aux %d received %s from %d at %.4fs (expected quiescence)" r.Trace.node kind
+        src r.Trace.at
+    | _ -> assert false)
+
+(* Group a merged record list back into per-node streams, preserving order. *)
+let per_node records =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Trace.record) ->
+      let q =
+        match Hashtbl.find_opt tbl r.Trace.node with
+        | Some q -> q
+        | None ->
+          let q = Queue.create () in
+          Hashtbl.add tbl r.Trace.node q;
+          q
+      in
+      Queue.add r q)
+    records;
+  Hashtbl.fold (fun node q acc -> (node, List.of_seq (Queue.to_seq q)) :: acc) tbl []
+
+let monotone_execution records =
+  List.fold_left
+    (fun acc (node, stream) ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () ->
+        let floor = ref min_int in
+        List.fold_left
+          (fun acc (r : Trace.record) ->
+            match acc with
+            | Error _ as e -> e
+            | Ok () -> (
+              match r.Trace.ev with
+              | Event.Restarted ->
+                (* Recovery replays the log from the latest snapshot, so
+                   execution legitimately rewinds across a restart. *)
+                floor := min_int;
+                Ok ()
+              | Event.Command_executed { instance } ->
+                if instance > !floor then begin
+                  floor := instance;
+                  Ok ()
+                end
+                else
+                  err "node %d executed instance %d after %d at %.4fs" node instance
+                    !floor r.Trace.at
+              | _ -> Ok ()))
+          (Ok ()) stream)
+    (Ok ())
+    (per_node records)
+
+let ballot_ordering records =
+  List.fold_left
+    (fun acc (node, stream) ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () ->
+        let started = Hashtbl.create 8 in
+        List.fold_left
+          (fun acc (r : Trace.record) ->
+            match acc with
+            | Error _ as e -> e
+            | Ok () -> (
+              match r.Trace.ev with
+              | Event.Restarted ->
+                Hashtbl.reset started;
+                Ok ()
+              | Event.Ballot_started { round; leader; _ } ->
+                Hashtbl.replace started (round, leader) ();
+                Ok ()
+              | Event.Ballot_won { round; leader } ->
+                if Hashtbl.mem started (round, leader) then Ok ()
+                else
+                  err "node %d won ballot (%d,%d) it never started (%.4fs)" node round
+                    leader r.Trace.at
+              | _ -> Ok ()))
+          (Ok ()) stream)
+    (Ok ())
+    (per_node records)
+
+let reconfig_ordering records =
+  let proposed = Hashtbl.create 8 in
+  List.fold_left
+    (fun acc (r : Trace.record) ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () -> (
+        match r.Trace.ev with
+        | Event.Reconfig_proposed c ->
+          Hashtbl.replace proposed c ();
+          Ok ()
+        | Event.Reconfig_committed { change; at } ->
+          if Hashtbl.mem proposed change then Ok ()
+          else
+            err "node %d committed %s at instance %d with no prior proposal"
+              r.Trace.node
+              (Format.asprintf "%a" Event.pp (Event.Reconfig_proposed change))
+              at
+        | _ -> Ok ()))
+    (Ok ()) records
+
+let ordering records =
+  let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  monotone_execution records >>= fun () ->
+  ballot_ordering records >>= fun () -> reconfig_ordering records
+
+let failover_timeline records =
+  let engaged_at =
+    List.find_map
+      (fun (r : Trace.record) ->
+        match r.Trace.ev with Event.Aux_engaged _ -> Some r.Trace.at | _ -> None)
+      records
+  in
+  match engaged_at with
+  | None -> Error "no aux engagement in trace"
+  | Some t_engaged -> (
+    let removed_at =
+      List.find_map
+        (fun (r : Trace.record) ->
+          match r.Trace.ev with
+          | Event.Reconfig_committed { change = Event.Remove_main _; _ }
+            when r.Trace.at >= t_engaged ->
+            Some r.Trace.at
+          | _ -> None)
+        records
+    in
+    match removed_at with
+    | None -> err "aux engaged at %.4fs but no Remove_main committed after it" t_engaged
+    | Some t_removed ->
+      let quiesced =
+        List.exists
+          (fun (r : Trace.record) ->
+            match r.Trace.ev with
+            | Event.Aux_quiesced _ -> r.Trace.at >= t_removed
+            | _ -> false)
+          records
+      in
+      if quiesced then Ok ()
+      else
+        err "Remove_main committed at %.4fs but auxiliaries never quiesced after it"
+          t_removed)

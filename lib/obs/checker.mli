@@ -1,0 +1,39 @@
+(** Assertions over event traces.
+
+    These make the paper's headline behaviour — auxiliaries quiescent unless
+    a main fails, engagement ending once [Remove_main] commits — directly
+    checkable in tests, and validate generic event ordering as part of the
+    safety battery ({!Cp_runtime.Inspect.check_safety}).
+
+    All functions take a merged, time-sorted record list ({!Trace.merge}).
+    {!ordering}'s existential sub-checks ([ballot_ordering],
+    [reconfig_ordering]) assume full history — call them only when every
+    contributing trace reports [dropped = 0]; {!monotone_execution} and
+    {!aux_quiescent} are safe on truncated traces. *)
+
+type records = Trace.record list
+
+val aux_quiescent :
+  ?after:float -> ?before:float -> auxes:int list -> records -> (unit, string) result
+(** No [Msg_recv] at any node in [auxes] within the (inclusive) window —
+    the paper's failure-free quiescence property. *)
+
+val monotone_execution : records -> (unit, string) result
+(** Per node, [Command_executed] instances strictly increase, resetting at
+    [Restarted] (recovery legitimately re-executes from a snapshot). *)
+
+val ballot_ordering : records -> (unit, string) result
+(** Per node, every [Ballot_won] was preceded by the matching
+    [Ballot_started] since the last restart. *)
+
+val reconfig_ordering : records -> (unit, string) result
+(** Every [Reconfig_committed] is preceded (anywhere in the cluster) by a
+    [Reconfig_proposed] of the same change. *)
+
+val ordering : records -> (unit, string) result
+(** [monotone_execution], then [ballot_ordering], then [reconfig_ordering]. *)
+
+val failover_timeline : records -> (unit, string) result
+(** The Cheap Paxos failover story, in order: some [Aux_engaged], then a
+    [Reconfig_committed (Remove_main _)], then an [Aux_quiesced] — each no
+    earlier than the previous stage. *)

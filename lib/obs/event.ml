@@ -1,0 +1,163 @@
+type change =
+  | Remove_main of int
+  | Add_main of int
+
+type t =
+  | Ballot_started of { round : int; leader : int; low : int }
+  | Ballot_won of { round : int; leader : int }
+  | Stepped_down of { round : int; leader : int }
+  | Leader_changed of { leader : int }
+  | Phase2_widened of { instance : int }
+  | Aux_engaged of { instance : int }
+  | Aux_quiesced of { floor : int }
+  | Reconfig_proposed of change
+  | Reconfig_committed of { change : change; at : int }
+  | Command_submitted of { client : int; seq : int }
+  | Command_chosen of { instance : int; batch : int }
+  | Command_executed of { instance : int }
+  | Msg_recv of { src : int; kind : string }
+  | Crashed
+  | Restarted
+  | Debug of string
+
+let kind = function
+  | Ballot_started _ -> "ballot_started"
+  | Ballot_won _ -> "ballot_won"
+  | Stepped_down _ -> "stepped_down"
+  | Leader_changed _ -> "leader_changed"
+  | Phase2_widened _ -> "phase2_widened"
+  | Aux_engaged _ -> "aux_engaged"
+  | Aux_quiesced _ -> "aux_quiesced"
+  | Reconfig_proposed _ -> "reconfig_proposed"
+  | Reconfig_committed _ -> "reconfig_committed"
+  | Command_submitted _ -> "command_submitted"
+  | Command_chosen _ -> "command_chosen"
+  | Command_executed _ -> "command_executed"
+  | Msg_recv _ -> "msg_recv"
+  | Crashed -> "crashed"
+  | Restarted -> "restarted"
+  | Debug _ -> "debug"
+
+let change_fields = function
+  | Remove_main m -> [ ("change", `S "remove_main"); ("main", `I m) ]
+  | Add_main m -> [ ("change", `S "add_main"); ("main", `I m) ]
+
+(* Flat field list; the JSONL encoder/decoder in {!Trace} relies on every
+   event being representable as string/int fields plus its [kind]. *)
+let fields = function
+  | Ballot_started { round; leader; low } ->
+    [ ("round", `I round); ("leader", `I leader); ("low", `I low) ]
+  | Ballot_won { round; leader } -> [ ("round", `I round); ("leader", `I leader) ]
+  | Stepped_down { round; leader } -> [ ("round", `I round); ("leader", `I leader) ]
+  | Leader_changed { leader } -> [ ("leader", `I leader) ]
+  | Phase2_widened { instance } -> [ ("instance", `I instance) ]
+  | Aux_engaged { instance } -> [ ("instance", `I instance) ]
+  | Aux_quiesced { floor } -> [ ("floor", `I floor) ]
+  | Reconfig_proposed c -> change_fields c
+  (* The wire name is "instance", not "at": the JSONL encoder reserves the
+     top-level keys "at"/"node"/"event" for the record envelope. *)
+  | Reconfig_committed { change; at } -> change_fields change @ [ ("instance", `I at) ]
+  | Command_submitted { client; seq } -> [ ("client", `I client); ("seq", `I seq) ]
+  | Command_chosen { instance; batch } ->
+    [ ("instance", `I instance); ("batch", `I batch) ]
+  | Command_executed { instance } -> [ ("instance", `I instance) ]
+  | Msg_recv { src; kind } -> [ ("src", `I src); ("kind", `S kind) ]
+  | Crashed | Restarted -> []
+  | Debug line -> [ ("line", `S line) ]
+
+let int_field fs name =
+  match List.assoc_opt name fs with
+  | Some (`I i) -> Ok i
+  | Some (`S _) | None -> Error (Printf.sprintf "missing int field %S" name)
+
+let str_field fs name =
+  match List.assoc_opt name fs with
+  | Some (`S s) -> Ok s
+  | Some (`I _) | None -> Error (Printf.sprintf "missing string field %S" name)
+
+let change_of_fields fs =
+  let ( let* ) = Result.bind in
+  let* c = str_field fs "change" in
+  let* m = int_field fs "main" in
+  match c with
+  | "remove_main" -> Ok (Remove_main m)
+  | "add_main" -> Ok (Add_main m)
+  | other -> Error (Printf.sprintf "unknown change %S" other)
+
+let of_fields ~kind fs =
+  let ( let* ) = Result.bind in
+  match kind with
+  | "ballot_started" ->
+    let* round = int_field fs "round" in
+    let* leader = int_field fs "leader" in
+    let* low = int_field fs "low" in
+    Ok (Ballot_started { round; leader; low })
+  | "ballot_won" ->
+    let* round = int_field fs "round" in
+    let* leader = int_field fs "leader" in
+    Ok (Ballot_won { round; leader })
+  | "stepped_down" ->
+    let* round = int_field fs "round" in
+    let* leader = int_field fs "leader" in
+    Ok (Stepped_down { round; leader })
+  | "leader_changed" ->
+    let* leader = int_field fs "leader" in
+    Ok (Leader_changed { leader })
+  | "phase2_widened" ->
+    let* instance = int_field fs "instance" in
+    Ok (Phase2_widened { instance })
+  | "aux_engaged" ->
+    let* instance = int_field fs "instance" in
+    Ok (Aux_engaged { instance })
+  | "aux_quiesced" ->
+    let* floor = int_field fs "floor" in
+    Ok (Aux_quiesced { floor })
+  | "reconfig_proposed" ->
+    let* c = change_of_fields fs in
+    Ok (Reconfig_proposed c)
+  | "reconfig_committed" ->
+    let* change = change_of_fields fs in
+    let* at = int_field fs "instance" in
+    Ok (Reconfig_committed { change; at })
+  | "command_submitted" ->
+    let* client = int_field fs "client" in
+    let* seq = int_field fs "seq" in
+    Ok (Command_submitted { client; seq })
+  | "command_chosen" ->
+    let* instance = int_field fs "instance" in
+    let* batch = int_field fs "batch" in
+    Ok (Command_chosen { instance; batch })
+  | "command_executed" ->
+    let* instance = int_field fs "instance" in
+    Ok (Command_executed { instance })
+  | "msg_recv" ->
+    let* src = int_field fs "src" in
+    let* kind = str_field fs "kind" in
+    Ok (Msg_recv { src; kind })
+  | "crashed" -> Ok Crashed
+  | "restarted" -> Ok Restarted
+  | "debug" ->
+    let* line = str_field fs "line" in
+    Ok (Debug line)
+  | other -> Error (Printf.sprintf "unknown event kind %S" other)
+
+let pp_change ppf = function
+  | Remove_main m -> Format.fprintf ppf "remove_main(%d)" m
+  | Add_main m -> Format.fprintf ppf "add_main(%d)" m
+
+let pp ppf ev =
+  match ev with
+  | Debug line -> Format.pp_print_string ppf line
+  | Reconfig_proposed c -> Format.fprintf ppf "reconfig_proposed %a" pp_change c
+  | Reconfig_committed { change; at } ->
+    Format.fprintf ppf "reconfig_committed %a at=%d" pp_change change at
+  | ev ->
+    Format.pp_print_string ppf (kind ev);
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | `I i -> Format.fprintf ppf " %s=%d" name i
+        | `S s -> Format.fprintf ppf " %s=%s" name s)
+      (fields ev)
+
+let equal (a : t) (b : t) = a = b

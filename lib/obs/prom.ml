@@ -1,0 +1,36 @@
+module Stats = Cp_util.Stats
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let render ?(prefix = "cp_") ~counters ~summaries () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let metric = prefix ^ sanitize name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" metric metric v))
+    counters;
+  List.iter
+    (fun (name, (s : Stats.summary)) ->
+      let metric = prefix ^ sanitize name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" metric);
+      List.iter
+        (fun (q, v) ->
+          Buffer.add_string b
+            (Printf.sprintf "%s{quantile=\"%s\"} %s\n" metric q (float_str v)))
+        [ ("0.5", s.Stats.p50); ("0.9", s.Stats.p90); ("0.99", s.Stats.p99) ];
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" metric s.Stats.count);
+      Buffer.add_string b
+        (Printf.sprintf "%s_sum %s\n" metric
+           (float_str (s.Stats.mean *. float_of_int s.Stats.count))))
+    summaries;
+  Buffer.contents b

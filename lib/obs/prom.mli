@@ -1,0 +1,18 @@
+(** Prometheus-style plaintext exposition of a metrics snapshot.
+
+    Counters render as [# TYPE <m> counter] plus a single sample; series
+    summaries render as Prometheus summaries (p50/p90/p99 quantile samples
+    plus [_count] and [_sum]). Names are sanitized to the Prometheus
+    charset and prefixed (default ["cp_"]). The output is what a
+    [/metrics] endpoint would serve; the UDP runtime exposes it via
+    {!Cp_netio.Node.metrics_text}. *)
+
+val render :
+  ?prefix:string ->
+  counters:(string * int) list ->
+  summaries:(string * Cp_util.Stats.summary) list ->
+  unit ->
+  string
+
+val sanitize : string -> string
+(** Replace characters outside [[a-zA-Z0-9_]] with ['_']. *)

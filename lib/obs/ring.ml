@@ -1,0 +1,33 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable next : int; (* total number of adds, monotonically increasing *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; next = 0 }
+
+let capacity t = Array.length t.buf
+
+let add t x =
+  t.buf.(t.next mod Array.length t.buf) <- Some x;
+  t.next <- t.next + 1
+
+let length t = min t.next (Array.length t.buf)
+
+let dropped t = max 0 (t.next - Array.length t.buf)
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.next <- 0
+
+let to_list t =
+  let cap = Array.length t.buf in
+  let n = length t in
+  let first = t.next - n in
+  List.init n (fun i ->
+      match t.buf.((first + i) mod cap) with
+      | Some x -> x
+      | None -> assert false)
+
+let iter t f = List.iter f (to_list t)

@@ -1,0 +1,25 @@
+(** Bounded ring buffer: O(1) append, keeps the most recent [capacity]
+    elements and counts how many older ones were overwritten. Backs the
+    per-node event traces so observability cost stays constant-space no
+    matter how long a run is. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] must be positive. *)
+
+val add : 'a t -> 'a -> unit
+
+val to_list : 'a t -> 'a list
+(** Retained elements, oldest first. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+
+val length : 'a t -> int
+
+val capacity : 'a t -> int
+
+val dropped : 'a t -> int
+(** Number of elements overwritten since creation (0 until it wraps). *)
+
+val clear : 'a t -> unit

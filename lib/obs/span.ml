@@ -1,0 +1,49 @@
+let submit_to_chosen = "span.submit_chosen"
+
+let chosen_to_executed = "span.chosen_executed"
+
+let submit_to_executed = "span.submit_executed"
+
+let phases = [ submit_to_chosen; chosen_to_executed; submit_to_executed ]
+
+type t = {
+  observe : string -> float -> unit;
+  submits : (int * int, float) Hashtbl.t; (* (client, seq) -> submit time *)
+  chosen_ : (int, float * float list) Hashtbl.t;
+      (* instance -> (chosen time, submit times of its commands) *)
+}
+
+let create ~observe =
+  { observe; submits = Hashtbl.create 64; chosen_ = Hashtbl.create 64 }
+
+let submitted t ~client ~seq ~at =
+  if not (Hashtbl.mem t.submits (client, seq)) then
+    Hashtbl.replace t.submits (client, seq) at
+
+let chosen t ~instance ~cmds ~at =
+  let starts =
+    List.filter_map
+      (fun key ->
+        match Hashtbl.find_opt t.submits key with
+        | Some t0 ->
+          Hashtbl.remove t.submits key;
+          t.observe submit_to_chosen (at -. t0);
+          Some t0
+        | None -> None)
+      cmds
+  in
+  Hashtbl.replace t.chosen_ instance (at, starts)
+
+let executed t ~instance ~at =
+  match Hashtbl.find_opt t.chosen_ instance with
+  | None -> ()
+  | Some (chosen_at, starts) ->
+    Hashtbl.remove t.chosen_ instance;
+    t.observe chosen_to_executed (at -. chosen_at);
+    List.iter (fun t0 -> t.observe submit_to_executed (at -. t0)) starts
+
+let pending t = Hashtbl.length t.submits + Hashtbl.length t.chosen_
+
+let reset t =
+  Hashtbl.reset t.submits;
+  Hashtbl.reset t.chosen_

@@ -1,0 +1,41 @@
+(** Command-latency spans: submit → chosen → executed.
+
+    A leader-side bookkeeping component: [submitted] when a client command
+    enters the proposal queue, [chosen] when its instance reaches quorum,
+    [executed] when the instance is applied. Each completed phase emits one
+    duration sample through [observe] (wired to
+    {!Cp_sim.Metrics.observe} by the replica), under the series names
+    below; percentiles come out of {!Cp_sim.Metrics.snapshot} /
+    {!Cp_util.Stats.summarize}. *)
+
+type t
+
+val create : observe:(string -> float -> unit) -> t
+
+val submitted : t -> client:int -> seq:int -> at:float -> unit
+(** First submission wins; duplicates of an in-flight command are ignored. *)
+
+val chosen : t -> instance:int -> cmds:(int * int) list -> at:float -> unit
+(** [cmds] are the (client, seq) pairs batched into [instance]. Commands
+    with no recorded submission (e.g. phase-1 recovered entries) are
+    skipped. *)
+
+val executed : t -> instance:int -> at:float -> unit
+
+val pending : t -> int
+(** Spans started but not yet fully closed (leak detector for tests). *)
+
+val reset : t -> unit
+(** Drop all open spans — on leadership change, half-open spans from the
+    old term would otherwise leak. *)
+
+(** {1 Series names} *)
+
+val submit_to_chosen : string
+
+val chosen_to_executed : string
+
+val submit_to_executed : string
+
+val phases : string list
+(** The three names above, in pipeline order. *)

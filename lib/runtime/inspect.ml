@@ -1,6 +1,7 @@
 module Replica = Cp_engine.Replica
 module Consistency = Cp_checker.Consistency
 module Engine = Cp_sim.Engine
+module Obs = Cp_obs
 
 let dump cluster id =
   let r = Cluster.replica cluster id in
@@ -14,6 +15,12 @@ let dumps cluster =
   Cluster.mains cluster
   |> List.filter (Engine.is_up (Cluster.engine cluster))
   |> List.map (dump cluster)
+
+let trace_dump cluster = Obs.Trace.merge (Engine.traces (Cluster.engine cluster))
+
+let aux_quiescent ?after ?before cluster =
+  Obs.Checker.aux_quiescent ?after ?before ~auxes:(Cluster.auxes cluster)
+    (trace_dump cluster)
 
 let check_safety cluster =
   let up_mains =
@@ -34,3 +41,13 @@ let check_safety cluster =
       let r = Cluster.replica cluster id in
       Consistency.no_gaps_below_executed (dump cluster id) ~executed:(Replica.executed r))
     (Ok ()) up_mains
+  >>= fun () ->
+  let traces = Engine.traces (Cluster.engine cluster) in
+  let records = Obs.Trace.merge traces in
+  Obs.Checker.monotone_execution records >>= fun () ->
+  (* The existential ordering checks need full history: skip them if any
+     ring has wrapped. *)
+  if List.for_all (fun tr -> Obs.Trace.dropped tr = 0) traces then
+    Obs.Checker.ballot_ordering records >>= fun () ->
+    Obs.Checker.reconfig_ordering records
+  else Ok ()

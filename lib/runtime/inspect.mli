@@ -7,6 +7,19 @@ val dump : Cluster.t -> int -> Cp_checker.Consistency.dump
 val dumps : Cluster.t -> Cp_checker.Consistency.dump list
 (** Dumps of all {e up} main machines. *)
 
+val trace_dump : Cluster.t -> Cp_obs.Trace.record list
+(** Every node's event trace, merged and sorted by time — ready for
+    {!Cp_obs.Checker} assertions or {!Cp_obs.Trace.to_jsonl}. *)
+
+val aux_quiescent :
+  ?after:float -> ?before:float -> Cluster.t -> (unit, string) result
+(** Assert that no auxiliary received any message in the window (defaults
+    to the whole run): the paper's failure-free quiescence property, read
+    off the trace. *)
+
 val check_safety : Cluster.t -> (unit, string) result
 (** Agreement across logs, configuration-timeline agreement, per-command
-    payload uniqueness, and no execution gaps — over all up mains. *)
+    payload uniqueness, and no execution gaps — over all up mains; then the
+    trace battery: per-node execution monotonicity always, plus
+    ballot/reconfig event-ordering whenever no trace ring has dropped
+    records. *)

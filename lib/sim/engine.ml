@@ -1,5 +1,6 @@
 module Rng = Cp_util.Rng
 module Heap = Cp_util.Heap
+module Obs = Cp_obs
 
 type 'm ctx = {
   self : int;
@@ -10,7 +11,7 @@ type 'm ctx = {
   rng : Rng.t;
   stable : Stable.t;
   metrics : Metrics.t;
-  trace : string -> unit;
+  emit : Obs.Event.t -> unit;
 }
 
 type 'm handlers = {
@@ -28,6 +29,7 @@ type 'm node = {
   node_rng : Rng.t;
   node_stable : Stable.t;
   node_metrics : Metrics.t;
+  node_trace : Obs.Trace.t;
   mutable ctx : 'm ctx option;
 }
 
@@ -51,14 +53,16 @@ type 'm t = {
   classify : 'm -> string;
   mutable reachable : int -> int -> bool;
   mutable processed : int;
-  mutable tracer : (float -> int -> string -> unit) option;
+  trace_capacity : int;
+  mutable event_hook : (Obs.Trace.record -> unit) option;
 }
 
 let event_cmp (a : _ event) (b : _ event) =
   let c = compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
 
-let create ?(seed = 1) ?(net = Netmodel.lan) ?proc_time ~size_of ~classify () =
+let create ?(seed = 1) ?(net = Netmodel.lan) ?proc_time
+    ?(trace_capacity = Obs.Trace.default_capacity) ~size_of ~classify () =
   {
     time = 0.;
     seq = 0;
@@ -72,7 +76,8 @@ let create ?(seed = 1) ?(net = Netmodel.lan) ?proc_time ~size_of ~classify () =
     classify;
     reachable = (fun _ _ -> true);
     processed = 0;
-    tracer = None;
+    trace_capacity;
+    event_hook = None;
   }
 
 let now t = t.time
@@ -81,7 +86,7 @@ let events_processed t = t.processed
 
 let rng t = t.engine_rng
 
-let set_tracer t f = t.tracer <- Some f
+let on_event t f = t.event_hook <- Some f
 
 let set_reachable t f = t.reachable <- f
 
@@ -96,6 +101,17 @@ let find_node t id =
 let metrics t id = (find_node t id).node_metrics
 
 let stable t id = (find_node t id).node_stable
+
+let trace t id = (find_node t id).node_trace
+
+let traces t =
+  Hashtbl.fold (fun _ n acc -> n.node_trace :: acc) t.nodes []
+
+let emit_event t node ev =
+  Obs.Trace.emit node.node_trace ~at:t.time ~node:node.id ev;
+  match t.event_hook with
+  | Some f -> f { Obs.Trace.at = t.time; node = node.id; ev }
+  | None -> ()
 
 let push t time kind =
   t.seq <- t.seq + 1;
@@ -131,9 +147,6 @@ let do_send t node dst msg =
   end
 
 let make_ctx t node =
-  let trace line =
-    match t.tracer with Some f -> f t.time node.id line | None -> ()
-  in
   let set_timer ?(tag = "") delay =
     t.next_tid <- t.next_tid + 1;
     let tid = t.next_tid in
@@ -149,7 +162,7 @@ let make_ctx t node =
     rng = node.node_rng;
     stable = node.node_stable;
     metrics = node.node_metrics;
-    trace;
+    emit = (fun ev -> emit_event t node ev);
   }
 
 let start_node t node =
@@ -177,6 +190,7 @@ let add_node t ~id builder =
       node_rng = Rng.split t.engine_rng;
       node_stable = Stable.create ();
       node_metrics = Metrics.create ();
+      node_trace = Obs.Trace.create ~capacity:t.trace_capacity ();
       ctx = None;
     }
   in
@@ -192,7 +206,8 @@ let crash t id =
     node.handlers <- None;
     node.epoch <- node.epoch + 1;
     Hashtbl.reset node.cancelled;
-    Metrics.incr node.node_metrics "crashes"
+    Metrics.incr node.node_metrics "crashes";
+    emit_event t node Obs.Event.Crashed
 
 let restart t ?(wipe_stable = false) id =
   let node = find_node t id in
@@ -201,6 +216,7 @@ let restart t ?(wipe_stable = false) id =
   | None ->
     if wipe_stable then Stable.wipe node.node_stable;
     Metrics.incr node.node_metrics "restarts";
+    emit_event t node Obs.Event.Restarted;
     start_node t node
 
 let handle_event t ev =
@@ -226,6 +242,7 @@ let handle_event t ev =
             Metrics.incr node.node_metrics "msgs_recv";
             Metrics.incr node.node_metrics ~by:size "bytes_recv";
             Metrics.incr node.node_metrics ("recv." ^ t.classify msg);
+            emit_event t node (Obs.Event.Msg_recv { src; kind = t.classify msg });
             h.on_message ~src msg
         end
     end

@@ -13,8 +13,9 @@
 
 type 'm t
 
-(** Capabilities handed to a node. [rng], [stable] and [metrics] persist
-    across restarts of the node; handlers do not. *)
+(** Capabilities handed to a node. [rng], [stable], [metrics] and the event
+    trace behind [emit] persist across restarts of the node; handlers do
+    not. *)
 type 'm ctx = {
   self : int;
   now : unit -> float;
@@ -26,7 +27,9 @@ type 'm ctx = {
   rng : Cp_util.Rng.t;
   stable : Stable.t;
   metrics : Metrics.t;
-  trace : string -> unit;  (** debug trace line, routed to the tracer if set *)
+  emit : Cp_obs.Event.t -> unit;
+      (** record a typed protocol event in the node's bounded trace
+          ({!trace}), stamped with virtual time and node id *)
 }
 
 type 'm handlers = {
@@ -38,6 +41,7 @@ val create :
   ?seed:int ->
   ?net:Netmodel.t ->
   ?proc_time:('m -> float) ->
+  ?trace_capacity:int ->
   size_of:('m -> int) ->
   classify:('m -> string) ->
   unit ->
@@ -50,7 +54,10 @@ val create :
     seconds of the node's (single) processor, both to send and to receive.
     A message arriving at a busy node queues until the node is free, so
     nodes saturate — without it (the default) nodes have infinite capacity
-    and throughput scales without bound. *)
+    and throughput scales without bound.
+
+    [trace_capacity] sizes each node's event ring
+    (default {!Cp_obs.Trace.default_capacity}). *)
 
 val add_node : 'm t -> id:int -> ('m ctx -> 'm handlers) -> unit
 (** Register and start a node. Ids must be unique; they need not be dense. *)
@@ -92,8 +99,19 @@ val metrics : 'm t -> int -> Metrics.t
 
 val stable : 'm t -> int -> Stable.t
 
+val trace : 'm t -> int -> Cp_obs.Trace.t
+(** The node's event trace. It survives crash/restart (like metrics); the
+    engine itself records [Msg_recv] on every delivery and
+    [Crashed]/[Restarted] on faults, protocol code adds the rest via
+    [ctx.emit]. *)
+
+val traces : 'm t -> Cp_obs.Trace.t list
+(** Traces of all registered nodes (unspecified order); merge with
+    {!Cp_obs.Trace.merge}. *)
+
 val rng : 'm t -> Cp_util.Rng.t
 (** The engine-level RNG (distinct from any node's). *)
 
-val set_tracer : 'm t -> (float -> int -> string -> unit) -> unit
-(** Receive every [ctx.trace] line as [(time, node, line)]. *)
+val on_event : 'm t -> (Cp_obs.Trace.record -> unit) -> unit
+(** Receive every event of every node, live, in addition to the per-node
+    rings — the successor of the old string tracer hook. *)

@@ -30,7 +30,18 @@ let reset t =
   Hashtbl.reset t.series
 
 let sum_matching t ~prefix =
-  let starts_with p s =
-    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  Hashtbl.fold
+    (fun k r acc -> if String.starts_with ~prefix k then acc + !r else acc)
+    t.counters 0
+
+type snapshot = {
+  counters : (string * int) list;
+  summaries : (string * Cp_util.Stats.summary) list;
+}
+
+let snapshot t =
+  let summaries =
+    Hashtbl.fold (fun k r acc -> (k, Cp_util.Stats.summarize (List.rev !r)) :: acc) t.series []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  Hashtbl.fold (fun k r acc -> if starts_with prefix k then acc + !r else acc) t.counters 0
+  { counters = counters t; summaries }

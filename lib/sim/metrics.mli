@@ -26,3 +26,13 @@ val reset : t -> unit
 
 val sum_matching : t -> prefix:string -> int
 (** Sum of all counters whose name starts with [prefix]. *)
+
+(** One-call export view for the metrics exporters: all counters plus a
+    {!Cp_util.Stats.summary} of every observation series, both sorted by
+    name. *)
+type snapshot = {
+  counters : (string * int) list;
+  summaries : (string * Cp_util.Stats.summary) list;
+}
+
+val snapshot : t -> snapshot

@@ -42,7 +42,7 @@ let summarize xs =
     { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
   | _ ->
     let arr = Array.of_list xs in
-    Array.sort compare arr;
+    Array.sort Float.compare arr;
     {
       count = Array.length arr;
       mean = mean xs;
@@ -90,14 +90,16 @@ type histogram = {
 let histogram_create ~buckets =
   { bounds = Array.copy buckets; counts = Array.make (Array.length buckets + 1) 0 }
 
+(* Binary search for the first bound >= x; the implicit +inf bucket is index
+   [Array.length bounds]. *)
 let histogram_add h x =
-  let rec find i =
-    if i >= Array.length h.bounds then i
-    else if x <= h.bounds.(i) then i
-    else find (i + 1)
-  in
-  let i = find 0 in
-  h.counts.(i) <- h.counts.(i) + 1
+  let n = Array.length h.bounds in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if x <= h.bounds.(mid) then hi := mid else lo := mid + 1
+  done;
+  h.counts.(!lo) <- h.counts.(!lo) + 1
 
 let histogram_counts h =
   let n = Array.length h.bounds in

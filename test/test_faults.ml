@@ -222,8 +222,37 @@ let test_flapping_partitions () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e
 
+(* One deterministic main crash: the trace must show the paper's failover
+   story end to end — auxiliaries engage, the leader's Remove_main commits,
+   and the engagement quiesces once the commit floor passes it. *)
+let test_failover_timeline () =
+  let cluster =
+    Cluster.create ~seed:11 ~policy:Cheap_paxos.Cheap.policy
+      ~initial:(Cheap_paxos.Cheap.initial_config ~f:1)
+      ~app:(module Counter) ()
+  in
+  let _, client =
+    Cluster.add_client cluster ~think:2e-3
+      ~ops:(fun s -> if s <= 200 then Some (Counter.inc 1) else None)
+      ()
+  in
+  Faults.schedule cluster [ (0.2, Faults.Crash 1) ];
+  let finished =
+    Cluster.run_until cluster ~deadline:15. (fun () -> Client.is_finished client)
+  in
+  Alcotest.(check bool) "finished" true finished;
+  (match Inspect.check_safety cluster with Ok () -> () | Error e -> Alcotest.fail e);
+  (* Before the crash, the auxiliaries saw no traffic at all. *)
+  (match Inspect.aux_quiescent ~before:0.19 cluster with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "pre-crash quiescence: %s" e);
+  match Cp_obs.Checker.failover_timeline (Inspect.trace_dump cluster) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "failover timeline: %s" e
+
 let suite =
   [
+    Alcotest.test_case "failover timeline in trace" `Quick test_failover_timeline;
     Alcotest.test_case "random schedules, cheap f=1" `Slow test_random_cheap_f1;
     Alcotest.test_case "random schedules, cheap f=2" `Slow test_random_cheap_f2;
     Alcotest.test_case "random schedules, classic" `Slow test_random_classic;

@@ -19,11 +19,27 @@ let test_scenario_runs_cheap () =
   Alcotest.(check int) "completed" 50 r.Scenario.completed;
   Alcotest.(check bool) "safety" true (Scenario.safety r = Ok ());
   Alcotest.(check int) "aux idle" 0 (Scenario.aux_msgs_received r);
+  (* The same quiescence, asserted through the event trace: no aux saw a
+     single delivery over the whole failure-free run. *)
+  (match Scenario.aux_quiescent r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "aux quiescence (trace): %s" e);
   Alcotest.(check bool) "throughput positive" true (Scenario.throughput r > 0.);
   Alcotest.(check int) "latencies recorded" 50
     (List.length (Scenario.client_latencies r));
   Alcotest.(check bool) "msgs per commit ~3" true
-    (Float.abs (Scenario.protocol_msgs_per_commit r -. 3.) < 1.)
+    (Float.abs (Scenario.protocol_msgs_per_commit r -. 3.) < 1.);
+  (* Span percentiles came out of the run: every phase collected samples and
+     end-to-end latency dominates each component phase. *)
+  let spans = Scenario.span_summaries r in
+  Alcotest.(check int) "all span phases present" 3 (List.length spans);
+  let find name = List.assoc name spans in
+  let s2c = find Cp_obs.Span.submit_to_chosen in
+  let s2e = find Cp_obs.Span.submit_to_executed in
+  Alcotest.(check bool) "span samples cover the ops" true
+    (s2e.Cp_util.Stats.count >= 50);
+  Alcotest.(check bool) "submit->executed >= submit->chosen (p50)" true
+    (s2e.Cp_util.Stats.p50 >= s2c.Cp_util.Stats.p50)
 
 let test_scenario_runs_classic () =
   let spec =

@@ -26,4 +26,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("nemesis", Test_nemesis.suite);
       ("netio-unit", Test_netio_unit.suite);
+      ("obs", Test_obs.suite);
     ]

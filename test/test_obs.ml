@@ -1,0 +1,345 @@
+(* Tests of the observability layer: ring buffer bounds, event/JSONL
+   round-trips, latency spans, Prometheus rendering, the trace checkers,
+   and the simulator integration (per-node traces + live hook). *)
+
+module Obs = Cp_obs
+module Event = Cp_obs.Event
+module Trace = Cp_obs.Trace
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_wrap () =
+  let r = Obs.Ring.create ~capacity:4 in
+  for i = 1 to 10 do
+    Obs.Ring.add r i
+  done;
+  Alcotest.(check int) "length capped" 4 (Obs.Ring.length r);
+  Alcotest.(check int) "capacity" 4 (Obs.Ring.capacity r);
+  Alcotest.(check int) "dropped" 6 (Obs.Ring.dropped r);
+  Alcotest.(check (list int)) "keeps newest, oldest first" [ 7; 8; 9; 10 ]
+    (Obs.Ring.to_list r);
+  Obs.Ring.clear r;
+  Alcotest.(check int) "clear empties" 0 (Obs.Ring.length r);
+  Alcotest.(check int) "clear resets dropped" 0 (Obs.Ring.dropped r)
+
+let test_ring_below_capacity () =
+  let r = Obs.Ring.create ~capacity:8 in
+  Obs.Ring.add r "a";
+  Obs.Ring.add r "b";
+  Alcotest.(check (list string)) "insertion order" [ "a"; "b" ] (Obs.Ring.to_list r);
+  Alcotest.(check int) "no drops" 0 (Obs.Ring.dropped r)
+
+(* ------------------------------------------------------------------ *)
+(* Events and JSONL                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let all_events =
+  [
+    Event.Ballot_started { round = 3; leader = 1; low = 7 };
+    Event.Ballot_won { round = 3; leader = 1 };
+    Event.Stepped_down { round = 4; leader = 2 };
+    Event.Leader_changed { leader = 2 };
+    Event.Phase2_widened { instance = 9 };
+    Event.Aux_engaged { instance = 9 };
+    Event.Aux_quiesced { floor = 12 };
+    Event.Reconfig_proposed (Event.Remove_main 1);
+    Event.Reconfig_proposed (Event.Add_main 3);
+    Event.Reconfig_committed { change = Event.Remove_main 1; at = 15 };
+    Event.Command_submitted { client = 1000; seq = 4 };
+    Event.Command_chosen { instance = 11; batch = 2 };
+    Event.Command_executed { instance = 11 };
+    Event.Msg_recv { src = 0; kind = "p2a" };
+    Event.Crashed;
+    Event.Restarted;
+    Event.Debug "free-form \"quoted\" line\nwith newline";
+  ]
+
+let test_event_fields_roundtrip () =
+  List.iter
+    (fun ev ->
+      match Event.of_fields ~kind:(Event.kind ev) (Event.fields ev) with
+      | Ok ev' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "round-trip %s" (Event.kind ev))
+          true (Event.equal ev ev')
+      | Error e -> Alcotest.failf "of_fields failed for %s: %s" (Event.kind ev) e)
+    all_events
+
+let test_jsonl_roundtrip () =
+  (* Timestamps exactly representable at the dump's 6-decimal precision. *)
+  let records =
+    List.mapi
+      (fun i ev -> { Trace.at = 0.125 *. float_of_int i; node = i mod 3; ev })
+      all_events
+  in
+  let text = Trace.to_jsonl records in
+  match Trace.of_jsonl text with
+  | Error e -> Alcotest.failf "of_jsonl failed: %s" e
+  | Ok records' ->
+    Alcotest.(check int) "count" (List.length records) (List.length records');
+    List.iter2
+      (fun (a : Trace.record) (b : Trace.record) ->
+        Alcotest.(check int) "node" a.Trace.node b.Trace.node;
+        Alcotest.(check bool) "time" true (Float.abs (a.Trace.at -. b.Trace.at) < 1e-9);
+        Alcotest.(check bool)
+          (Printf.sprintf "event %s" (Event.kind a.Trace.ev))
+          true
+          (Event.equal a.Trace.ev b.Trace.ev))
+      records records'
+
+let test_jsonl_shape () =
+  let r = { Trace.at = 0.25; node = 2; ev = Event.Aux_engaged { instance = 7 } } in
+  let json = Trace.record_to_json r in
+  Alcotest.(check bool) "has event tag" true (contains json "\"event\":\"aux_engaged\"");
+  Alcotest.(check bool) "has instance" true (contains json "\"instance\":7");
+  Alcotest.(check bool) "has node" true (contains json "\"node\":2")
+
+let test_of_jsonl_rejects_junk () =
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Trace.of_jsonl "{not json}\n"));
+  Alcotest.(check bool) "unknown event rejected" true
+    (Result.is_error (Trace.of_jsonl "{\"at\":0.0,\"node\":0,\"event\":\"warp_drive\"}\n"))
+
+let test_trace_emit_and_hook () =
+  let tr = Trace.create ~capacity:3 () in
+  let seen = ref 0 in
+  Trace.set_hook tr (fun _ -> incr seen);
+  for i = 0 to 4 do
+    Trace.emit tr ~at:(float_of_int i) ~node:0 (Event.Command_executed { instance = i })
+  done;
+  Alcotest.(check int) "hook saw every emit" 5 !seen;
+  Alcotest.(check int) "ring keeps capacity" 3 (Trace.length tr);
+  Alcotest.(check int) "dropped counted" 2 (Trace.dropped tr)
+
+let test_merge_sorts_by_time () =
+  let t1 = Trace.create () and t2 = Trace.create () in
+  Trace.emit t1 ~at:2.0 ~node:0 Event.Crashed;
+  Trace.emit t2 ~at:1.0 ~node:1 Event.Restarted;
+  Trace.emit t1 ~at:3.0 ~node:0 Event.Restarted;
+  let merged = Trace.merge [ t1; t2 ] in
+  Alcotest.(check (list int)) "time order" [ 1; 0; 0 ]
+    (List.map (fun (r : Trace.record) -> r.Trace.node) merged)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_phases () =
+  let samples = ref [] in
+  let span = Obs.Span.create ~observe:(fun name v -> samples := (name, v) :: !samples) in
+  Obs.Span.submitted span ~client:1 ~seq:1 ~at:0.0;
+  Obs.Span.submitted span ~client:1 ~seq:2 ~at:0.5;
+  Obs.Span.chosen span ~instance:0 ~cmds:[ (1, 1) ] ~at:1.0;
+  Obs.Span.executed span ~instance:0 ~at:1.5;
+  let get name =
+    List.filter_map (fun (n, v) -> if n = name then Some v else None) !samples
+  in
+  Alcotest.(check (list (float 1e-9))) "submit->chosen" [ 1.0 ]
+    (get Obs.Span.submit_to_chosen);
+  Alcotest.(check (list (float 1e-9))) "chosen->executed" [ 0.5 ]
+    (get Obs.Span.chosen_to_executed);
+  Alcotest.(check (list (float 1e-9))) "submit->executed" [ 1.5 ]
+    (get Obs.Span.submit_to_executed);
+  Alcotest.(check int) "one open span left" 1 (Obs.Span.pending span);
+  Obs.Span.reset span;
+  Alcotest.(check int) "reset drops open spans" 0 (Obs.Span.pending span)
+
+let test_span_unknown_instance_ignored () =
+  let span = Obs.Span.create ~observe:(fun _ _ -> Alcotest.fail "no sample expected") in
+  Obs.Span.executed span ~instance:42 ~at:1.0;
+  Obs.Span.chosen span ~instance:7 ~cmds:[ (9, 9) ] ~at:1.0;
+  Alcotest.(check int) "unmatched chosen is stashed, nothing observed" 1
+    (Obs.Span.pending span)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus rendering                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prom_render () =
+  let summaries = [ ("commit_latency", Cp_util.Stats.summarize [ 1.0; 2.0; 3.0 ]) ] in
+  let text =
+    Obs.Prom.render
+      ~counters:[ ("msgs_sent", 3); ("rx.p2a", 2) ]
+      ~summaries ()
+  in
+  Alcotest.(check bool) "counter type line" true
+    (contains text "# TYPE cp_msgs_sent counter");
+  Alcotest.(check bool) "counter sample" true (contains text "cp_msgs_sent 3");
+  Alcotest.(check bool) "dots sanitized" true (contains text "cp_rx_p2a 2");
+  Alcotest.(check bool) "summary type line" true
+    (contains text "# TYPE cp_commit_latency summary");
+  Alcotest.(check bool) "p50 quantile" true
+    (contains text "cp_commit_latency{quantile=\"0.5\"} 2");
+  Alcotest.(check bool) "count sample" true (contains text "cp_commit_latency_count 3")
+
+let test_prom_sanitize () =
+  Alcotest.(check string) "charset" "recv_p2a" (Obs.Prom.sanitize "recv.p2a");
+  Alcotest.(check string) "identity" "abc_09" (Obs.Prom.sanitize "abc_09")
+
+(* ------------------------------------------------------------------ *)
+(* Checkers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec_ at node ev = { Trace.at; node; ev }
+
+let test_checker_aux_quiescent () =
+  let quiet =
+    [
+      rec_ 0.1 0 (Event.Msg_recv { src = 1; kind = "p2a" });
+      rec_ 0.2 1 (Event.Msg_recv { src = 0; kind = "p2b" });
+    ]
+  in
+  Alcotest.(check bool) "main traffic is fine" true
+    (Obs.Checker.aux_quiescent ~auxes:[ 2 ] quiet = Ok ());
+  let noisy = quiet @ [ rec_ 0.3 2 (Event.Msg_recv { src = 0; kind = "p2a" }) ] in
+  Alcotest.(check bool) "aux traffic flagged" true
+    (Result.is_error (Obs.Checker.aux_quiescent ~auxes:[ 2 ] noisy));
+  Alcotest.(check bool) "window excludes early traffic" true
+    (Obs.Checker.aux_quiescent ~after:0.5 ~auxes:[ 2 ] noisy = Ok ())
+
+let test_checker_monotone_execution () =
+  let ok =
+    [
+      rec_ 0.1 0 (Event.Command_executed { instance = 0 });
+      rec_ 0.2 0 (Event.Command_executed { instance = 1 });
+      rec_ 0.3 1 (Event.Command_executed { instance = 0 });
+    ]
+  in
+  Alcotest.(check bool) "monotone ok" true (Obs.Checker.monotone_execution ok = Ok ());
+  let bad = ok @ [ rec_ 0.4 0 (Event.Command_executed { instance = 1 }) ] in
+  Alcotest.(check bool) "repeat flagged" true
+    (Result.is_error (Obs.Checker.monotone_execution bad));
+  let restarted =
+    ok
+    @ [
+        rec_ 0.35 0 Event.Restarted;
+        rec_ 0.4 0 (Event.Command_executed { instance = 0 });
+      ]
+  in
+  Alcotest.(check bool) "restart resets the floor" true
+    (Obs.Checker.monotone_execution restarted = Ok ())
+
+let test_checker_ballot_ordering () =
+  let started = rec_ 0.1 0 (Event.Ballot_started { round = 1; leader = 0; low = 0 }) in
+  let won = rec_ 0.2 0 (Event.Ballot_won { round = 1; leader = 0 }) in
+  Alcotest.(check bool) "started then won" true
+    (Obs.Checker.ballot_ordering [ started; won ] = Ok ());
+  Alcotest.(check bool) "won from nowhere flagged" true
+    (Result.is_error (Obs.Checker.ballot_ordering [ won ]))
+
+let test_checker_reconfig_ordering () =
+  let proposed = rec_ 0.1 0 (Event.Reconfig_proposed (Event.Remove_main 1)) in
+  let committed =
+    rec_ 0.2 2 (Event.Reconfig_committed { change = Event.Remove_main 1; at = 5 })
+  in
+  Alcotest.(check bool) "proposed then committed" true
+    (Obs.Checker.reconfig_ordering [ proposed; committed ] = Ok ());
+  Alcotest.(check bool) "commit from nowhere flagged" true
+    (Result.is_error (Obs.Checker.reconfig_ordering [ committed ]))
+
+let test_checker_failover_timeline () =
+  let engaged = rec_ 0.1 0 (Event.Aux_engaged { instance = 3 }) in
+  let removed =
+    rec_ 0.2 0 (Event.Reconfig_committed { change = Event.Remove_main 1; at = 4 })
+  in
+  let quiesced = rec_ 0.3 0 (Event.Aux_quiesced { floor = 5 }) in
+  Alcotest.(check bool) "full timeline" true
+    (Obs.Checker.failover_timeline [ engaged; removed; quiesced ] = Ok ());
+  Alcotest.(check bool) "no engagement flagged" true
+    (Result.is_error (Obs.Checker.failover_timeline [ removed; quiesced ]));
+  Alcotest.(check bool) "missing quiescence flagged" true
+    (Result.is_error (Obs.Checker.failover_timeline [ engaged; removed ]));
+  let early_quiesced = rec_ 0.15 0 (Event.Aux_quiesced { floor = 5 }) in
+  Alcotest.(check bool) "quiescence before the commit does not count" true
+    (Result.is_error (Obs.Checker.failover_timeline [ engaged; early_quiesced; removed ]))
+
+(* ------------------------------------------------------------------ *)
+(* Simulator integration                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_trace_integration () =
+  let initial = Cheap_paxos.Cheap.initial_config ~f:1 in
+  let cluster =
+    Cp_runtime.Cluster.create ~seed:7 ~policy:Cheap_paxos.Cheap.policy ~initial
+      ~app:(module Cp_smr.Counter) ()
+  in
+  let hook_count = ref 0 in
+  Cp_sim.Engine.on_event (Cp_runtime.Cluster.engine cluster) (fun _ -> incr hook_count);
+  let ops = Cp_workload.Workload.counter_ops ~count:20 in
+  let _, client = Cp_runtime.Cluster.add_client cluster ~ops () in
+  let ok =
+    Cp_runtime.Cluster.run_until cluster ~deadline:5. (fun () ->
+        Cp_smr.Client.is_finished client)
+  in
+  Alcotest.(check bool) "finished" true ok;
+  let records = Cp_runtime.Inspect.trace_dump cluster in
+  let has p = List.exists (fun (r : Trace.record) -> p r.Trace.ev) records in
+  Alcotest.(check bool) "saw a ballot win" true
+    (has (function Event.Ballot_won _ -> true | _ -> false));
+  Alcotest.(check bool) "saw command submission" true
+    (has (function Event.Command_submitted _ -> true | _ -> false));
+  Alcotest.(check bool) "saw command execution" true
+    (has (function Event.Command_executed _ -> true | _ -> false));
+  Alcotest.(check bool) "live hook fired" true (!hook_count > 0);
+  Alcotest.(check bool) "failure-free run keeps auxes quiescent" true
+    (Cp_runtime.Inspect.aux_quiescent cluster = Ok ());
+  Alcotest.(check bool) "ordering battery passes" true
+    (Obs.Checker.ordering records = Ok ());
+  (* The merged trace round-trips through JSONL. *)
+  match Trace.of_jsonl (Trace.to_jsonl records) with
+  | Error e -> Alcotest.failf "trace did not round-trip: %s" e
+  | Ok records' ->
+    Alcotest.(check int) "round-trip preserves count" (List.length records)
+      (List.length records')
+
+let test_sim_trace_capacity () =
+  let eng =
+    Cp_sim.Engine.create ~seed:5 ~size_of:Cp_proto.Types.size_of
+      ~classify:Cp_proto.Types.classify ~trace_capacity:8 ()
+  in
+  Cp_sim.Engine.add_node eng ~id:0 (fun ctx ->
+      for i = 0 to 19 do
+        ctx.Cp_sim.Engine.emit (Event.Command_executed { instance = i })
+      done;
+      {
+        Cp_sim.Engine.on_message = (fun ~src:_ _ -> ());
+        on_timer = (fun ~tid:_ ~tag:_ -> ());
+      });
+  Cp_sim.Engine.run ~until:0.1 eng;
+  let tr = Cp_sim.Engine.trace eng 0 in
+  Alcotest.(check int) "ring bounded" 8 (Trace.length tr);
+  Alcotest.(check int) "drops reported" 12 (Trace.dropped tr)
+
+let suite =
+  [
+    Alcotest.test_case "ring wraps and counts drops" `Quick test_ring_wrap;
+    Alcotest.test_case "ring below capacity" `Quick test_ring_below_capacity;
+    Alcotest.test_case "event fields round-trip" `Quick test_event_fields_roundtrip;
+    Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "jsonl shape" `Quick test_jsonl_shape;
+    Alcotest.test_case "jsonl rejects junk" `Quick test_of_jsonl_rejects_junk;
+    Alcotest.test_case "trace emit and hook" `Quick test_trace_emit_and_hook;
+    Alcotest.test_case "merge sorts by time" `Quick test_merge_sorts_by_time;
+    Alcotest.test_case "span phases" `Quick test_span_phases;
+    Alcotest.test_case "span ignores unknown instance" `Quick
+      test_span_unknown_instance_ignored;
+    Alcotest.test_case "prometheus render" `Quick test_prom_render;
+    Alcotest.test_case "prometheus sanitize" `Quick test_prom_sanitize;
+    Alcotest.test_case "checker: aux quiescence" `Quick test_checker_aux_quiescent;
+    Alcotest.test_case "checker: monotone execution" `Quick
+      test_checker_monotone_execution;
+    Alcotest.test_case "checker: ballot ordering" `Quick test_checker_ballot_ordering;
+    Alcotest.test_case "checker: reconfig ordering" `Quick
+      test_checker_reconfig_ordering;
+    Alcotest.test_case "checker: failover timeline" `Quick
+      test_checker_failover_timeline;
+    Alcotest.test_case "sim integration" `Quick test_sim_trace_integration;
+    Alcotest.test_case "sim trace capacity" `Quick test_sim_trace_capacity;
+  ]
