@@ -188,14 +188,97 @@ let write_obs_snapshot () =
   Printf.printf "wrote BENCH_obs.json (%d ops, %d span phases, %d aux recv events)\n"
     r.Scenario.completed (List.length spans) aux_recv_events
 
+(* ------------------------------------------------------------------ *)
+(* Batching snapshot: the same offered load pushed through the leader   *)
+(* with batching off and on, under the per-message CPU model (the       *)
+(* regime batching exists for). Written as JSON so successive runs can  *)
+(* be diffed; the >= 2x speedup is part of the bench verdict.           *)
+(* ------------------------------------------------------------------ *)
+
+let write_batch_snapshot () =
+  let module Scenario = Cp_harness.Scenario in
+  let clients = 48 in
+  let per_client = if quick then 40 else 150 in
+  let run ~batch =
+    let params =
+      if batch then
+        {
+          Cp_engine.Params.default with
+          Cp_engine.Params.batch_max_cmds = 32;
+          (* A shallow pipeline is what lets batches accumulate. *)
+          pipeline_window = 2;
+        }
+      else
+        { Cp_engine.Params.default with Cp_engine.Params.batch_max_cmds = 1 }
+    in
+    let spec =
+      {
+        (Scenario.default_spec ~sys:(Scenario.Cheap 1)) with
+        Scenario.seed = 43;
+        params;
+        clients;
+        ops_per_client = per_client;
+        think = 0.;
+        mk_ops =
+          (fun ~client_idx:_ seq -> Cp_workload.Workload.counter_ops ~count:per_client seq);
+        proc_time = Some 10e-6;
+        deadline = 60.;
+      }
+    in
+    Scenario.run spec
+  in
+  let unbatched = run ~batch:false in
+  let batched = run ~batch:true in
+  let module S = Scenario in
+  (* [r.wall] is quantized to the run_until step; the moment the last response
+     arrived (the clients' "done_at" series) measures the run precisely. *)
+  let duration r =
+    List.fold_left
+      (fun acc (id, _) ->
+        List.fold_left max acc (Cp_runtime.Cluster.series r.S.cluster id "done_at"))
+      0. r.S.client_handles
+  in
+  let tput r = float_of_int r.S.completed /. duration r in
+  let speedup = tput batched /. tput unbatched in
+  let safety_ok r = match S.safety r with Ok () -> true | Error _ -> false in
+  let quiescent = match S.aux_quiescent batched with Ok () -> true | Error _ -> false in
+  let side name r =
+    Printf.sprintf
+      "  %S: {\"completed\": %d, \"finished\": %b, \"wall\": %.6f, \"throughput\": %.1f, \
+       \"safety_ok\": %b}"
+      name r.S.completed r.S.finished r.S.wall (tput r) (safety_ok r)
+  in
+  let oc = open_out "BENCH_batch.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"clients\": %d,\n  \"ops_per_client\": %d,\n" clients per_client;
+  Printf.fprintf oc "  \"proc_time\": 10e-6,\n";
+  Printf.fprintf oc "%s,\n" (side "unbatched" unbatched);
+  Printf.fprintf oc "%s,\n" (side "batched" batched);
+  Printf.fprintf oc "  \"speedup\": %.3f,\n" speedup;
+  Printf.fprintf oc "  \"aux_quiescent_batched\": %b\n" quiescent;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  let ok =
+    unbatched.S.finished && batched.S.finished && safety_ok unbatched
+    && safety_ok batched && quiescent && speedup >= 2.0
+  in
+  Printf.printf
+    "wrote BENCH_batch.json (unbatched %.0f ops/s, batched %.0f ops/s, speedup %.2fx, \
+     aux quiescent: %b) -- %s\n"
+    (tput unbatched) (tput batched) speedup quiescent
+    (if ok then "PASS" else "FAIL");
+  ok
+
 let () =
   Printf.printf "Cheap Paxos evaluation%s\n" (if quick then " (quick mode)" else "");
   let outcomes = Cp_harness.Experiments.run_all ~quick () in
   Cp_util.Table.print ~title:"Claim-by-claim verdicts"
     (Cp_harness.Outcome.to_table outcomes);
   write_obs_snapshot ();
+  let batch_ok = write_batch_snapshot () in
   run_microbenches ();
-  if Cp_harness.Outcome.all_pass outcomes then print_endline "\nALL CLAIMS REPRODUCED"
+  if Cp_harness.Outcome.all_pass outcomes && batch_ok then
+    print_endline "\nALL CLAIMS REPRODUCED"
   else begin
     print_endline "\nSOME CLAIMS FAILED";
     exit 1

@@ -69,12 +69,20 @@ let experiments_cmd =
           Stdlib.exit (run_experiments quick (List.map String.lowercase_ascii only) csv))
       $ quick_flag $ only_arg $ csv_arg)
 
-let run_demo seed trace trace_jsonl =
+let run_demo seed trace trace_jsonl batch pipeline linger =
   let module Cluster = Cp_runtime.Cluster in
   let module Faults = Cp_runtime.Faults in
   let initial = Cheap_paxos.Cheap.initial_config ~f:1 in
+  let params =
+    {
+      Cp_engine.Params.default with
+      Cp_engine.Params.batch_max_cmds = batch;
+      pipeline_window = pipeline;
+      batch_linger = linger;
+    }
+  in
   let cluster =
-    Cluster.create ~seed ~policy:Cheap_paxos.Cheap.policy ~initial
+    Cluster.create ~seed ~params ~policy:Cheap_paxos.Cheap.policy ~initial
       ~app:(module Cp_smr.Kv) ()
   in
   if trace then
@@ -118,8 +126,30 @@ let demo_cmd =
       & info [ "trace-jsonl" ] ~docv:"FILE"
           ~doc:"Dump the merged cluster event trace to $(docv) as JSON lines.")
   in
+  let batch =
+    Arg.(
+      value
+      & opt int Cp_engine.Params.default.Cp_engine.Params.batch_max_cmds
+      & info [ "batch" ] ~docv:"N" ~doc:"Max client commands per log instance.")
+  in
+  let pipeline =
+    Arg.(
+      value
+      & opt int Cp_engine.Params.default.Cp_engine.Params.pipeline_window
+      & info [ "pipeline" ] ~docv:"W"
+          ~doc:"Max simultaneously outstanding (unchosen) instances at the leader.")
+  in
+  let linger =
+    Arg.(
+      value
+      & opt float Cp_engine.Params.default.Cp_engine.Params.batch_linger
+      & info [ "linger" ] ~docv:"SECONDS"
+          ~doc:"How long the leader may hold a non-full batch open for more commands.")
+  in
   Cmd.v (Cmd.info "demo" ~doc)
-    Term.(const (fun s t j -> Stdlib.exit (run_demo s t j)) $ seed $ trace $ trace_jsonl)
+    Term.(
+      const (fun s t j b p l -> Stdlib.exit (run_demo s t j b p l))
+      $ seed $ trace $ trace_jsonl $ batch $ pipeline $ linger)
 
 (* ------------------------------------------------------------------ *)
 (* Real multi-process cluster: `node` runs one machine over UDP,      *)

@@ -13,9 +13,12 @@ type t = {
   client_timeout : float;
   enable_leases : bool;
   lease_guard : float;
-  batch_max : int;
+  batch_max_cmds : int;
+  batch_max_bytes : int;
+  batch_linger : float;
   session_window : int;
-  pipeline_max : int;
+  pipeline_window : int;
+  queue_limit : int;
 }
 
 let default =
@@ -34,9 +37,12 @@ let default =
     client_timeout = 50e-3;
     enable_leases = false;
     lease_guard = 25e-3;
-    batch_max = 1;
+    batch_max_cmds = 1;
+    batch_max_bytes = 64 * 1024;
+    batch_linger = 0.;
     session_window = 1024;
-    pipeline_max = 32;
+    pipeline_window = 32;
+    queue_limit = 4096;
   }
 
 let scale k t =
@@ -52,4 +58,5 @@ let scale k t =
     join_interval = t.join_interval *. k;
     client_timeout = t.client_timeout *. k;
     lease_guard = t.lease_guard *. k;
+    batch_linger = t.batch_linger *. k;
   }

@@ -18,7 +18,7 @@ type t = {
   snapshot_every : int;  (** instances between application snapshots *)
   catchup_batch : int;  (** max log entries per catch-up response *)
   join_interval : float;  (** period of JoinReq from a machine outside the config *)
-  client_timeout : float;  (** client retry period *)
+  client_timeout : float;  (** client base retry period (backoff doubles it) *)
   enable_leases : bool;
       (** leader read leases: linearizable reads served locally by a leader
           that has fresh heartbeat echoes from every main, with all mains
@@ -27,17 +27,32 @@ type t = {
   lease_guard : float;
       (** the promise-refusal window; the lease itself is 0.8 of it, leaving
           margin. Must not exceed [leader_timeout] or failover slows down. *)
-  batch_max : int;
+  batch_max_cmds : int;
       (** maximum client commands packed into one log instance (1 = no
           batching). Batching divides per-command consensus cost by the
           achieved batch size. *)
+  batch_max_bytes : int;
+      (** byte budget per batch entry: the leader stops adding commands to a
+          batch once their accumulated wire size reaches this (a single
+          oversized command still ships alone) *)
+  batch_linger : float;
+      (** how long the leader may hold a sub-[batch_max_cmds] batch open
+          waiting for more commands. 0 (default) proposes immediately; a
+          positive linger trades that much latency for bigger batches.
+          Flushes are driven by [tick], so the effective linger is quantized
+          to it. *)
   session_window : int;
       (** cached replies retained per client session for at-most-once
           replay answers; must exceed any client's pipelining depth *)
-  pipeline_max : int;
-      (** maximum concurrently-pending client proposals. Lowering it makes
-          commands queue behind in-flight instances, which is what lets
-          batches form; the α-window still caps the pipeline regardless. *)
+  pipeline_window : int;
+      (** maximum concurrently-pending (proposed, not yet chosen) instances.
+          Lowering it makes commands queue behind in-flight instances, which
+          is what lets batches form; the α-window still caps the pipeline
+          regardless. *)
+  queue_limit : int;
+      (** backpressure: the leader's command queue is capped at this many
+          waiting commands; further client submissions are dropped (counted
+          as ["backpressure_drops"]) and retried by the client's backoff. *)
 }
 
 val default : t

@@ -35,6 +35,9 @@ type lead = {
   l_pending : (int, pending) Hashtbl.t;
   mutable l_next : int;
   l_queue : Types.command Queue.t;
+  mutable l_queue_since : float;
+      (* when the oldest currently-queued command arrived ([infinity] while
+         the queue is empty); the batch-linger clock *)
   l_inflight_cmds : (int * int, unit) Hashtbl.t; (* (client, seq) proposed, unexecuted *)
   l_backlog : (int, Types.entry) Hashtbl.t;
       (* phase-1 recovered votes not yet re-proposed: they must wait for the
@@ -405,40 +408,58 @@ and pump t lead =
           end;
           progress := true
         end
-        else if Hashtbl.length lead.l_pending < t.params.Params.pipeline_max then begin
-          (* Drain up to [batch_max] fresh commands into one instance. *)
+        else if Hashtbl.length lead.l_pending < t.params.Params.pipeline_window then begin
+          (* Drain fresh commands into one instance, bounded by both the
+             command count and the byte budget (the first command always
+             fits, so an oversized command ships alone). *)
+          let max_cmds = max 1 t.params.Params.batch_max_cmds in
+          let max_bytes = t.params.Params.batch_max_bytes in
           let fresh cmd =
             match Hashtbl.find_opt t.sessions cmd.Types.client with
             | Some sess -> Session.status sess cmd.Types.seq = `New
             | None -> true
           in
-          let rec take n acc =
-            if n = 0 then List.rev acc
+          let rec take n bytes acc =
+            if n = 0 || bytes >= max_bytes then List.rev acc
             else
               match Queue.take_opt lead.l_queue with
               | None -> List.rev acc
               | Some cmd ->
                 if fresh cmd then begin
                   Hashtbl.replace lead.l_inflight_cmds (cmd.Types.client, cmd.Types.seq) ();
-                  take (n - 1) (cmd :: acc)
+                  take (n - 1) (bytes + Types.command_size cmd) (cmd :: acc)
                 end
                 else begin
                   progress := true;
-                  take n acc
+                  take n bytes acc
                 end
           in
-          match take (max 1 t.params.Params.batch_max) [] with
-          | [] -> ()
-          | [ cmd ] ->
-            let i = lead.l_next in
-            lead.l_next <- i + 1;
-            propose_at t lead i (Types.App cmd);
-            progress := true
-          | cmds ->
-            let i = lead.l_next in
-            lead.l_next <- i + 1;
-            propose_at t lead i (Types.Batch cmds);
-            progress := true
+          (* Linger: a sub-maximal batch may be held open briefly so more
+             commands can join; the periodic tick re-runs [pump], so a
+             lingering batch flushes within [batch_linger + tick]. *)
+          let flush_now =
+            t.params.Params.batch_linger <= 0.
+            || Queue.length lead.l_queue >= max_cmds
+            || now t -. lead.l_queue_since >= t.params.Params.batch_linger
+          in
+          if flush_now then begin
+            let cmds = take max_cmds 0 [] in
+            if Queue.is_empty lead.l_queue then lead.l_queue_since <- infinity
+            else lead.l_queue_since <- now t;
+            match cmds with
+            | [] -> ()
+            | [ cmd ] ->
+              let i = lead.l_next in
+              lead.l_next <- i + 1;
+              propose_at t lead i (Types.App cmd);
+              progress := true
+            | cmds ->
+              let i = lead.l_next in
+              lead.l_next <- i + 1;
+              observe t "batch_size" (float_of_int (List.length cmds));
+              propose_at t lead i (Types.Batch cmds);
+              progress := true
+          end
         end
       end
     done;
@@ -535,6 +556,7 @@ let become_leader t (c : candidate) =
       l_pending = Hashtbl.create 32;
       l_next = start;
       l_queue = Queue.create ();
+      l_queue_since = infinity;
       l_inflight_cmds = Hashtbl.create 32;
       l_backlog = Hashtbl.create 32;
       l_recover_hi = stop;
@@ -562,6 +584,7 @@ let become_leader t (c : candidate) =
     (fun i (v : Types.vote) -> if i >= start then Hashtbl.replace lead.l_backlog i v.Types.ventry)
     c.c_votes;
   Queue.transfer t.pre_queue lead.l_queue;
+  if not (Queue.is_empty lead.l_queue) then lead.l_queue_since <- now t;
   t.state <- Leader lead;
   if t.leader_hint_ <> t.ctx.Engine.self then begin
     t.leader_hint_ <- t.ctx.Engine.self;
@@ -867,16 +890,25 @@ let on_client_req t (cmd : Types.command) =
     | `Evicted -> () (* ancient duplicate: reply evicted, nothing to say *)
     | `New ->
       if not (Hashtbl.mem lead.l_inflight_cmds (cmd.client, cmd.seq)) then begin
-        event t (Obs.Event.Command_submitted { client = cmd.client; seq = cmd.seq });
-        Obs.Span.submitted t.spans ~client:cmd.client ~seq:cmd.seq ~at:(now t);
-        Queue.push cmd lead.l_queue;
-        pump t lead
+        if Queue.length lead.l_queue >= t.params.Params.queue_limit then
+          (* Backpressure: the pipeline window is full and the queue is at
+             capacity. Drop; the client's backoff retry re-offers it later. *)
+          metric t "backpressure_drops"
+        else begin
+          event t (Obs.Event.Command_submitted { client = cmd.client; seq = cmd.seq });
+          Obs.Span.submitted t.spans ~client:cmd.client ~seq:cmd.seq ~at:(now t);
+          if Queue.is_empty lead.l_queue then lead.l_queue_since <- now t;
+          Queue.push cmd lead.l_queue;
+          pump t lead
+        end
       end
   end
   | Candidate _ ->
     (* We may be about to win: hold the request instead of bouncing the
        client through a redirect-to-self cycle. *)
-    Queue.push cmd t.pre_queue
+    if Queue.length t.pre_queue >= t.params.Params.queue_limit then
+      metric t "backpressure_drops"
+    else Queue.push cmd t.pre_queue
   | Follower -> send t cmd.client (Types.Redirect { leader_hint = t.leader_hint_ })
 
 let on_client_read t (cmd : Types.command) =
@@ -890,7 +922,10 @@ let on_client_read t (cmd : Types.command) =
   | Leader _ ->
     metric t "lease_read_fallbacks";
     on_client_req t cmd
-  | Candidate _ -> Queue.push cmd t.pre_queue
+  | Candidate _ ->
+    if Queue.length t.pre_queue >= t.params.Params.queue_limit then
+      metric t "backpressure_drops"
+    else Queue.push cmd t.pre_queue
   | Follower -> send t cmd.client (Types.Redirect { leader_hint = t.leader_hint_ })
 
 (* ------------------------------------------------------------------ *)

@@ -858,9 +858,11 @@ let e11_run ~quick =
           let params =
             {
               Cp_engine.Params.default with
-              Cp_engine.Params.batch_max = batch;
+              Cp_engine.Params.batch_max_cmds = batch;
               (* A shallow pipeline is what lets batches accumulate. *)
-              pipeline_max = (if batch > 1 then 2 else Cp_engine.Params.default.Cp_engine.Params.pipeline_max);
+              pipeline_window =
+                (if batch > 1 then 2
+                 else Cp_engine.Params.default.Cp_engine.Params.pipeline_window);
             }
           in
           let spec =

@@ -64,6 +64,17 @@ let set_timer t ?(tag = "") delay =
 let cancel_timer t tid =
   List.iter (fun timer -> if timer.tid = tid then timer.cancelled <- true) t.timers
 
+(* Must be called with the lock held. An exception escaping a protocol
+   handler (or the port→id map) must not kill the dispatch thread — and in
+   the timer loop it would also leave the node lock poisoned, deadlocking
+   every other thread. Record it and carry on. *)
+let guard t ~where f =
+  try f ()
+  with exn ->
+    Cp_sim.Metrics.incr t.metrics "handler_errors";
+    Obs.Trace.emit t.trace_ ~at:(now t) ~node:t.id
+      (Obs.Event.Debug (Printf.sprintf "%s raised: %s" where (Printexc.to_string exn)))
+
 let timer_loop t =
   Mutex.lock t.lock;
   while not t.stopping do
@@ -82,7 +93,9 @@ let timer_loop t =
         t.timers <- rest;
         if not timer.cancelled then begin
           match t.handlers with
-          | Some h -> h.Engine.on_timer ~tid:timer.tid ~tag:timer.tag
+          | Some h ->
+            guard t ~where:(Printf.sprintf "on_timer %S" timer.tag) (fun () ->
+                h.Engine.on_timer ~tid:timer.tid ~tag:timer.tag)
           | None -> ()
         end
       end
@@ -104,24 +117,39 @@ let recv_loop t =
         (match Codec.decode (Bytes.sub_string buf 0 len) with
         | Error _ -> () (* junk datagram: drop *)
         | Ok msg ->
-          let src =
-            match peer with
-            | Unix.ADDR_INET (_, port) -> t.id_of_port port
-            | Unix.ADDR_UNIX _ -> -1
-          in
           Mutex.lock t.lock;
           Fun.protect
             ~finally:(fun () -> Mutex.unlock t.lock)
             (fun () ->
-              let kind = Types.classify msg in
-              Cp_sim.Metrics.incr t.metrics "msgs_recv";
-              Cp_sim.Metrics.incr t.metrics ~by:len "bytes_recv";
-              Cp_sim.Metrics.incr t.metrics ("recv." ^ kind);
-              Obs.Trace.emit t.trace_ ~at:(now t) ~node:t.id
-                (Obs.Event.Msg_recv { src; kind });
-              match t.handlers with
-              | Some h -> h.Engine.on_message ~src msg
-              | None -> ()));
+              let src =
+                match peer with
+                | Unix.ADDR_INET (_, port) -> (
+                  (* A user-supplied map: a datagram from an unmapped port
+                     must be dropped, not kill the receive thread. *)
+                  try Some (t.id_of_port port)
+                  with exn ->
+                    Cp_sim.Metrics.incr t.metrics "handler_errors";
+                    Obs.Trace.emit t.trace_ ~at:(now t) ~node:t.id
+                      (Obs.Event.Debug
+                         (Printf.sprintf "id_of_port %d raised: %s" port
+                            (Printexc.to_string exn)));
+                    None)
+                | Unix.ADDR_UNIX _ -> Some (-1)
+              in
+              match src with
+              | None -> () (* unknown peer: drop *)
+              | Some src -> (
+                let kind = Types.classify msg in
+                Cp_sim.Metrics.incr t.metrics "msgs_recv";
+                Cp_sim.Metrics.incr t.metrics ~by:len "bytes_recv";
+                Cp_sim.Metrics.incr t.metrics ("recv." ^ kind);
+                Obs.Trace.emit t.trace_ ~at:(now t) ~node:t.id
+                  (Obs.Event.Msg_recv { src; kind });
+                match t.handlers with
+                | Some h ->
+                  guard t ~where:("on_message " ^ kind) (fun () ->
+                      h.Engine.on_message ~src msg)
+                | None -> ())));
         loop ()
     end
   in

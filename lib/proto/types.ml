@@ -73,11 +73,13 @@ let header = 16
 
 let int_field = 8
 
-let rec entry_size = function
+let command_size ({ op; _ } : command) = (2 * int_field) + String.length op
+
+let entry_size = function
   | Noop -> int_field
-  | App { op; _ } -> (3 * int_field) + String.length op
+  | App cmd -> int_field + command_size cmd
   | Batch cmds ->
-    int_field + List.fold_left (fun acc c -> acc + entry_size (App c)) 0 cmds
+    int_field + List.fold_left (fun acc c -> acc + int_field + command_size c) 0 cmds
   | Reconfig _ -> 2 * int_field
 
 let vote_size { ventry; _ } = (2 * int_field) + entry_size ventry

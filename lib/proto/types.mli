@@ -13,8 +13,8 @@ type reconfig =
 
 (** What a log instance can decide. [Noop] is used by a new leader to fill
     gaps left by its predecessor; [Batch] packs several client commands into
-    one instance (the leader batches when [Params.batch_max > 1]), executed
-    in list order. *)
+    one instance (the leader batches when [Params.batch_max_cmds > 1], up to
+    [Params.batch_max_bytes] of payload), executed in list order. *)
 type entry =
   | Noop
   | App of command
@@ -86,6 +86,10 @@ val classify : msg -> string
 
 val size_of : msg -> int
 (** Wire-size estimate in bytes (headers + payload), used for byte metrics. *)
+
+val command_size : command -> int
+(** Wire-size estimate of one command's payload; the leader charges this
+    against [Params.batch_max_bytes] when filling a batch. *)
 
 val entry_size : entry -> int
 

@@ -5,13 +5,16 @@ module Metrics = Cp_sim.Metrics
 type t = {
   ctx : Types.msg Engine.ctx;
   mains : int array;
-  timeout : float;
+  timeout : float; (* base retry delay *)
+  max_backoff : float; (* cap on the un-jittered retry delay *)
   think : float;
   ops : int -> string option;
   is_read : string -> bool;
   mutable seq : int;
   mutable op : string option;
   mutable hint : int; (* index into mains *)
+  mutable attempts : int; (* consecutive unanswered sends of the current op *)
+  mutable fast_resend : bool; (* one redirect-triggered resend per retry window *)
   mutable invoked_at : float;
   mutable retry_timer : int option;
   mutable finished : bool;
@@ -20,6 +23,13 @@ type t = {
 }
 
 let now t = t.ctx.Engine.now ()
+
+(* [attempt] 0 is the first send. The cap bounds the exponential term; the
+   jitter factor in [0.75, 1.25) then spreads retransmissions so that clients
+   that timed out together do not retry in lockstep forever. *)
+let retry_delay ~base ~cap ~attempt ~jitter =
+  let d = min cap (base *. (2. ** float_of_int attempt)) in
+  d *. (0.75 +. (0.5 *. jitter))
 
 let cancel_retry t =
   match t.retry_timer with
@@ -37,7 +47,11 @@ let send_current t =
     t.ctx.Engine.send dst
       (if t.is_read op then Types.ClientRead cmd else Types.ClientReq cmd);
     cancel_retry t;
-    t.retry_timer <- Some (t.ctx.Engine.set_timer ~tag:"retry" t.timeout)
+    let delay =
+      retry_delay ~base:t.timeout ~cap:t.max_backoff ~attempt:t.attempts
+        ~jitter:(Cp_util.Rng.float t.ctx.Engine.rng 1.)
+    in
+    t.retry_timer <- Some (t.ctx.Engine.set_timer ~tag:"retry" delay)
 
 let begin_op t =
   match t.ops t.seq with
@@ -47,6 +61,8 @@ let begin_op t =
     cancel_retry t
   | Some op ->
     t.op <- Some op;
+    t.attempts <- 0;
+    t.fast_resend <- true;
     t.invoked_at <- now t;
     send_current t
 
@@ -79,30 +95,47 @@ let on_redirect t ~leader_hint =
     | Some i when i <> t.hint ->
       t.hint <- i;
       send_current t
-    | Some _ | None -> () (* unknown or unchanged hint: wait for the timeout *)
+    | Some _ when t.fast_resend ->
+      (* The hint already points where we last sent — our request (or its
+         reply) was probably lost. Resend immediately instead of waiting out
+         the full retry delay, but only once per window: if the hinted node
+         keeps redirecting us back at itself, we fall back to the backoff
+         timer rather than looping. *)
+      t.fast_resend <- false;
+      Metrics.incr t.ctx.Engine.metrics "client_fast_resends";
+      send_current t
+    | Some _ | None -> () (* unknown hint, or already fast-resent: wait *)
   end
 
 let on_retry t =
   t.retry_timer <- None;
   if (not t.finished) && t.op <> None then begin
     t.hint <- (t.hint + 1) mod Array.length t.mains;
+    t.attempts <- t.attempts + 1;
+    t.fast_resend <- true;
     Metrics.incr t.ctx.Engine.metrics "client_retries";
     send_current t
   end
 
-let create ctx ~mains ~timeout ?(think = 0.) ?(is_read = fun _ -> false) ~ops () =
+let create ctx ~mains ~timeout ?max_backoff ?(think = 0.) ?(is_read = fun _ -> false)
+    ~ops () =
   if mains = [] then invalid_arg "Client.create: empty contact list";
+  if timeout <= 0. then invalid_arg "Client.create: timeout must be positive";
+  let max_backoff = Option.value max_backoff ~default:(16. *. timeout) in
   let t =
     {
       ctx;
       mains = Array.of_list mains;
       timeout;
+      max_backoff;
       think;
       ops;
       is_read;
       seq = 1;
       op = None;
       hint = 0;
+      attempts = 0;
+      fast_resend = true;
       invoked_at = 0.;
       retry_timer = None;
       finished = false;

@@ -16,6 +16,7 @@ val create :
   Types.msg Cp_sim.Engine.ctx ->
   mains:int list ->
   timeout:float ->
+  ?max_backoff:float ->
   ?think:float ->
   ?is_read:(string -> bool) ->
   ops:(int -> string option) ->
@@ -25,7 +26,18 @@ val create :
     [None] when the client is done. [mains] is the contact list (rotated on
     timeout). Operations for which [is_read] holds are submitted as
     [ClientRead] — served by a leader lease when one is held, and through
-    the log otherwise; such operations must not mutate application state. *)
+    the log otherwise; such operations must not mutate application state.
+
+    Retransmissions back off exponentially from [timeout] up to
+    [max_backoff] (default [16 *. timeout]), with multiplicative jitter;
+    the backoff resets when a response arrives. A redirect naming the node
+    we last contacted triggers one immediate resend per retry window
+    (counter ["client_fast_resends"]) instead of waiting out the delay. *)
+
+val retry_delay : base:float -> cap:float -> attempt:int -> jitter:float -> float
+(** The retransmission schedule, exposed for tests: [attempt] 0 is the first
+    send. [min cap (base * 2^attempt)] scaled by a jitter factor in
+    [0.75 +. 0.5 *. jitter] with [jitter] uniform in [0, 1). *)
 
 val handlers : t -> Types.msg Cp_sim.Engine.handlers
 

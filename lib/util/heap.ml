@@ -4,6 +4,14 @@ type 'a t = {
   mutable len : int;
 }
 
+(* Fill value for vacant slots, so the backing array never retains a
+   reference to a popped element (the GC could otherwise keep arbitrarily
+   large subgraphs alive until the slot is overwritten by a later push).
+   Being an immediate, it also forces [Array.make] to allocate a generic
+   (non-flat) array even when ['a] is [float]; every array access in this
+   module is polymorphic and therefore tag-checked, so the cast is sound. *)
+let dummy : unit -> 'a = fun () -> Obj.magic 0
+
 let create ~cmp = { cmp; data = [||]; len = 0 }
 
 let size t = t.len
@@ -14,11 +22,11 @@ let clear t =
   t.data <- [||];
   t.len <- 0
 
-let grow t x =
+let grow t =
   let cap = Array.length t.data in
   if t.len = cap then begin
     let ncap = max 8 (cap * 2) in
-    let ndata = Array.make ncap x in
+    let ndata = Array.make ncap (dummy ()) in
     Array.blit t.data 0 ndata 0 t.len;
     t.data <- ndata
   end
@@ -47,7 +55,7 @@ let rec sift_down t i =
   end
 
 let push t x =
-  grow t x;
+  grow t;
   t.data.(t.len) <- x;
   t.len <- t.len + 1;
   sift_up t (t.len - 1)
@@ -61,8 +69,10 @@ let pop t =
     t.len <- t.len - 1;
     if t.len > 0 then begin
       t.data.(0) <- t.data.(t.len);
+      t.data.(t.len) <- dummy ();
       sift_down t 0
-    end;
+    end
+    else t.data.(0) <- dummy ();
     Some top
   end
 

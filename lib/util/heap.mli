@@ -10,7 +10,9 @@ val create : cmp:('a -> 'a -> int) -> 'a t
 val push : 'a t -> 'a -> unit
 
 val pop : 'a t -> 'a option
-(** Remove and return the minimum element, or [None] if empty. *)
+(** Remove and return the minimum element, or [None] if empty. The vacated
+    backing-array slot is cleared so the heap does not retain the popped
+    element for the GC. *)
 
 val peek : 'a t -> 'a option
 

@@ -11,8 +11,9 @@ module Types = Cp_proto.Types
 let batch_params n =
   {
     Cp_engine.Params.default with
-    batch_max = n;
-    pipeline_max = (if n > 1 then 2 else Cp_engine.Params.default.Cp_engine.Params.pipeline_max);
+    batch_max_cmds = n;
+    pipeline_window =
+      (if n > 1 then 2 else Cp_engine.Params.default.Cp_engine.Params.pipeline_window);
   }
 
 let cluster_with ~batch ~seed =
@@ -104,6 +105,126 @@ let test_batching_under_loss_dedup () =
   Alcotest.(check int) "exactly once" 120 (final_counter cluster);
   match Inspect.check_safety cluster with Ok () -> () | Error e -> Alcotest.fail e
 
+let test_backpressure_bounded_queue () =
+  (* A tiny queue limit: the leader sheds load instead of queueing without
+     bound, and client retransmission still gets every command through
+     exactly once. *)
+  let params =
+    {
+      Cp_engine.Params.default with
+      batch_max_cmds = 4;
+      pipeline_window = 1;
+      queue_limit = 8;
+    }
+  in
+  let cluster =
+    Cluster.create ~seed:66 ~params ~policy:Cheap_paxos.Cheap.policy
+      ~initial:(Cheap_paxos.Cheap.initial_config ~f:1)
+      ~app:(module Counter) ()
+  in
+  let ok, _ = run_clients cluster ~clients:30 ~per_client:20 in
+  Alcotest.(check bool) "finished" true ok;
+  Alcotest.(check int) "exactly once" 600 (final_counter cluster);
+  let drops =
+    Cluster.sum_metric cluster ~ids:(Cluster.mains cluster) "backpressure_drops"
+  in
+  Alcotest.(check bool) (Printf.sprintf "shed load (%d drops)" drops) true (drops > 0);
+  match Inspect.check_safety cluster with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_per_command_spans_in_batches () =
+  (* Every command in a batch gets its own latency span: one
+     submit→executed sample per command, not one per instance. *)
+  let cluster = cluster_with ~batch:8 ~seed:67 in
+  let clients = 6 and per_client = 50 in
+  let ok, _ = run_clients cluster ~clients ~per_client in
+  Alcotest.(check bool) "finished" true ok;
+  let spans =
+    List.concat_map
+      (fun id -> Cluster.series cluster id Cp_obs.Span.submit_to_executed)
+      (Cluster.mains cluster)
+  in
+  Alcotest.(check int) "one span per command" (clients * per_client) (List.length spans);
+  let batch_sizes = Cluster.series cluster 0 "batch_size" in
+  Alcotest.(check bool) "batches actually formed" true
+    (List.exists (fun s -> s > 1.5) batch_sizes)
+
+let test_batch_byte_cap () =
+  (* Large commands: the byte budget, not the command count, bounds each
+     batch. 8 concurrent writers of ~123-byte commands against a 256-byte
+     budget can never pack more than 3 commands into one instance. *)
+  let params =
+    {
+      Cp_engine.Params.default with
+      batch_max_cmds = 64;
+      pipeline_window = 2;
+      batch_max_bytes = 256;
+    }
+  in
+  let cluster =
+    Cluster.create ~seed:69 ~params ~policy:Cheap_paxos.Cheap.policy
+      ~initial:(Cheap_paxos.Cheap.initial_config ~f:1)
+      ~app:(module Cp_smr.Kv) ()
+  in
+  let big = String.make 100 'v' in
+  let handles =
+    List.init 8 (fun i ->
+        snd
+          (Cluster.add_client cluster
+             ~ops:(fun s ->
+               if s <= 20 then Some (Cp_smr.Kv.put (Printf.sprintf "k%d" i) big)
+               else None)
+             ()))
+  in
+  let ok =
+    Cluster.run_until cluster ~deadline:20. (fun () ->
+        List.for_all Client.is_finished handles)
+  in
+  Alcotest.(check bool) "finished" true ok;
+  let r = Cluster.replica cluster 0 in
+  let worst =
+    List.fold_left
+      (fun acc (_, e) ->
+        match e with Types.Batch cmds -> max acc (List.length cmds) | _ -> acc)
+      0
+      (Replica.log_range r ~lo:(Replica.log_base r) ~hi:max_int)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "byte cap bounds batch size (worst %d)" worst)
+    true
+    (worst > 1 && worst <= 3);
+  match Inspect.check_safety cluster with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_linger_delays_flush () =
+  (* A single closed-loop client never fills a batch, so a linger shows up
+     directly as added latency: the leader holds each command open for the
+     full linger before proposing it. *)
+  let run linger =
+    let params =
+      { Cp_engine.Params.default with batch_max_cmds = 4; batch_linger = linger }
+    in
+    let cluster =
+      Cluster.create ~seed:68 ~params ~policy:Cheap_paxos.Cheap.policy
+        ~initial:(Cheap_paxos.Cheap.initial_config ~f:1)
+        ~app:(module Counter) ()
+    in
+    let _, client =
+      Cluster.add_client cluster
+        ~ops:(fun s -> if s <= 10 then Some (Counter.inc 1) else None)
+        ()
+    in
+    let ok =
+      Cluster.run_until cluster ~deadline:20. (fun () -> Client.is_finished client)
+    in
+    Alcotest.(check bool) "finished" true ok;
+    Cluster.now cluster
+  in
+  let fast = run 0. in
+  let slow = run 0.02 in
+  Alcotest.(check bool)
+    (Printf.sprintf "linger holds batches open (%.3f s vs %.3f s)" fast slow)
+    true
+    (slow >= fast +. 0.1)
+
 let suite =
   [
     Alcotest.test_case "batching correct" `Quick test_batching_correct;
@@ -112,4 +233,9 @@ let suite =
     Alcotest.test_case "batch entries in log" `Quick test_batch_entries_in_log;
     Alcotest.test_case "batching with crash" `Quick test_batching_with_crash;
     Alcotest.test_case "batching under loss (dedup)" `Quick test_batching_under_loss_dedup;
+    Alcotest.test_case "backpressure (bounded queue)" `Quick test_backpressure_bounded_queue;
+    Alcotest.test_case "per-command spans in batches" `Quick
+      test_per_command_spans_in_batches;
+    Alcotest.test_case "byte cap bounds batches" `Quick test_batch_byte_cap;
+    Alcotest.test_case "linger delays flush" `Quick test_linger_delays_flush;
   ]

@@ -119,6 +119,90 @@ let test_client_empty_ops () =
   Alcotest.(check bool) "immediately finished" true (Client.is_finished client);
   Alcotest.(check int) "nothing done" 0 (Client.done_count client)
 
+(* --- retransmission backoff ---------------------------------------------- *)
+
+let test_retry_delay_schedule () =
+  let base = 0.05 and cap = 0.8 in
+  (* jitter 0.5 is the neutral factor: the delay doubles until the cap. *)
+  let d a = Client.retry_delay ~base ~cap ~attempt:a ~jitter:0.5 in
+  Alcotest.(check (float 1e-9)) "attempt 0" 0.05 (d 0);
+  Alcotest.(check (float 1e-9)) "attempt 1" 0.1 (d 1);
+  Alcotest.(check (float 1e-9)) "attempt 2" 0.2 (d 2);
+  Alcotest.(check (float 1e-9)) "attempt 3" 0.4 (d 3);
+  Alcotest.(check (float 1e-9)) "capped" 0.8 (d 10);
+  Alcotest.(check (float 1e-9)) "cap survives huge attempts" 0.8 (d 200);
+  (* The jitter factor spans [0.75, 1.25). *)
+  Alcotest.(check (float 1e-9)) "jitter low" (0.05 *. 0.75)
+    (Client.retry_delay ~base ~cap ~attempt:0 ~jitter:0.);
+  Alcotest.(check (float 1e-9)) "jitter high" (0.05 *. 1.25)
+    (Client.retry_delay ~base ~cap ~attempt:0 ~jitter:1.)
+
+let test_client_backoff_spacing () =
+  (* All servers silent: retransmissions must spread out exponentially
+     instead of firing every [timeout] forever. *)
+  let eng = make_engine () in
+  Engine.add_node eng ~id:0 (fake_server (fun _ ~src:_ _ -> ()));
+  let client =
+    add_client eng ~mains:[ 0 ] ~timeout:0.01
+      ~ops:(fun s -> if s = 1 then Some "x" else None)
+      ()
+  in
+  Engine.run ~until:10. eng;
+  Alcotest.(check bool) "still unanswered" false (Client.is_finished client);
+  let retries = Cp_sim.Metrics.get (Engine.metrics eng 1000) "client_retries" in
+  (* A fixed 10 ms retransmission would fire ~1000 times in 10 s; the capped
+     schedule (cap = 16x base, jitter factor >= 0.75) fires a few dozen. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "retries bounded (%d)" retries)
+    true
+    (retries > 5 && retries < 200)
+
+let test_same_hint_redirect_resends () =
+  (* A briefly-confused leader: it redirects the first request to itself,
+     then serves. The client must resend immediately rather than sit out
+     the retry timeout. *)
+  let eng = make_engine () in
+  let first = ref true in
+  Engine.add_node eng ~id:0
+    (fake_server (fun ctx ~src cmd ->
+         if !first then begin
+           first := false;
+           ctx.Engine.send src (Types.Redirect { leader_hint = 0 })
+         end
+         else echo_server ctx ~src cmd));
+  let client =
+    add_client eng ~mains:[ 0 ] ~ops:(fun s -> if s = 1 then Some "x" else None) ()
+  in
+  Engine.run eng;
+  Alcotest.(check bool) "finished" true (Client.is_finished client);
+  (match Client.history client with
+  | [ (_, comp, _, _) ] ->
+    Alcotest.(check bool) "well before the 50 ms timeout" true (comp < 0.02)
+  | _ -> Alcotest.fail "history");
+  Alcotest.(check int) "one fast resend" 1
+    (Cp_sim.Metrics.get (Engine.metrics eng 1000) "client_fast_resends");
+  Alcotest.(check int) "no timeout retries" 0
+    (Cp_sim.Metrics.get (Engine.metrics eng 1000) "client_retries")
+
+let test_self_redirect_loop_bounded () =
+  (* A server that always redirects to itself must not provoke a resend
+     storm: at most one fast resend per retry window. *)
+  let eng = make_engine () in
+  Engine.add_node eng ~id:0
+    (fake_server (fun ctx ~src _ ->
+         ctx.Engine.send src (Types.Redirect { leader_hint = 0 })));
+  let client =
+    add_client eng ~mains:[ 0 ] ~ops:(fun s -> if s = 1 then Some "x" else None) ()
+  in
+  Engine.run ~until:2. eng;
+  Alcotest.(check bool) "never finishes" false (Client.is_finished client);
+  let retries = Cp_sim.Metrics.get (Engine.metrics eng 1000) "client_retries" in
+  let fast = Cp_sim.Metrics.get (Engine.metrics eng 1000) "client_fast_resends" in
+  Alcotest.(check bool)
+    (Printf.sprintf "fast resends (%d) bounded by retry windows (%d)" fast retries)
+    true
+    (fast <= retries + 1)
+
 (* --- service-time model -------------------------------------------------- *)
 
 let test_proc_time_serializes () =
@@ -191,6 +275,10 @@ let suite =
     Alcotest.test_case "ignores stale response" `Quick test_client_ignores_stale_response;
     Alcotest.test_case "think time" `Quick test_client_think_time;
     Alcotest.test_case "empty ops" `Quick test_client_empty_ops;
+    Alcotest.test_case "retry delay schedule" `Quick test_retry_delay_schedule;
+    Alcotest.test_case "backoff spacing under silence" `Quick test_client_backoff_spacing;
+    Alcotest.test_case "same-hint redirect resends" `Quick test_same_hint_redirect_resends;
+    Alcotest.test_case "self-redirect loop bounded" `Quick test_self_redirect_loop_bounded;
     Alcotest.test_case "proc_time serializes" `Quick test_proc_time_serializes;
     Alcotest.test_case "no proc_time is instant" `Quick test_no_proc_time_instant;
     Alcotest.test_case "saturation model" `Quick test_saturation_throughput_model;

@@ -39,7 +39,14 @@ let sample_msgs =
     Types.P1b { ballot = Ballot.bottom; from = 0; votes = []; compacted_upto = 0 };
     Types.P1Nack { ballot = b; promised = b' };
     Types.P2a { ballot = b; instance = 7; entry = Types.App cmd };
+    Types.P2a
+      { ballot = b;
+        instance = 8;
+        entry = Types.Batch [ cmd; { cmd with seq = 18; op = "" }; { cmd with client = 1002 } ]
+      };
+    Types.P2a { ballot = b; instance = 9; entry = Types.Batch [] };
     Types.P2a { ballot = b; instance = 0; entry = Types.Reconfig (Types.Remove_main 4) };
+    Types.Commit { instance = 11; entry = Types.Batch [ cmd ] };
     Types.P2a { ballot = b; instance = 1; entry = Types.Reconfig (Types.Add_main 9) };
     Types.P2b { ballot = b; instance = 7; from = 3 };
     Types.P2Nack { ballot = b; instance = 7; promised = b' };
@@ -125,6 +132,7 @@ let arb_msg =
     frequency
       [ (1, return Types.Noop);
         (3, map (fun c -> Types.App c) cmd);
+        (2, map (fun cs -> Types.Batch cs) (list_size (int_range 0 6) cmd));
         (1, map (fun m -> Types.Reconfig (Types.Remove_main m)) (int_range 0 9));
         (1, map (fun m -> Types.Reconfig (Types.Add_main m)) (int_range 0 9)) ]
   in

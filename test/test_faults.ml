@@ -28,14 +28,16 @@ let random_schedule rng ~machines ~horizon ~rounds =
   done;
   List.sort (fun (a, _) (b, _) -> compare a b) !events
 
-let run_one ~sys ~seed =
+let run_one ?(params = Cp_engine.Params.default) ~sys ~seed () =
   let policy, initial =
     match sys with
     | `Cheap f -> (Cheap_paxos.Cheap.policy, Cheap_paxos.Cheap.initial_config ~f)
     | `Classic n -> (Cp_engine.Policy.classic, Cp_proto.Config.classic ~n)
   in
   let net = { Cp_sim.Netmodel.lan with drop_prob = 0.02; dup_prob = 0.01 } in
-  let cluster = Cluster.create ~seed ~net ~policy ~initial ~app:(module Counter) () in
+  let cluster =
+    Cluster.create ~seed ~net ~params ~policy ~initial ~app:(module Counter) ()
+  in
   let rng = Rng.create (seed * 31 + 7) in
   let machines = Cluster.mains cluster @ Cluster.auxes cluster in
   let schedule = random_schedule rng ~machines ~horizon:1.5 ~rounds:3 in
@@ -95,7 +97,7 @@ let n_seeds = if Sys.getenv_opt "CHEAP_LONG" <> None then 60 else 12
 let seeds = List.init n_seeds (fun i -> 1000 + (i * 17))
 
 let test_random_cheap_f1 () =
-  let finished = List.filter (fun s -> run_one ~sys:(`Cheap 1) ~seed:s) seeds in
+  let finished = List.filter (fun s -> run_one ~sys:(`Cheap 1) ~seed:s ()) seeds in
   (* Most schedules leave a quorum alive; demand at least some liveness so a
      protocol that stalls everywhere cannot pass silently. *)
   Alcotest.(check bool)
@@ -105,7 +107,7 @@ let test_random_cheap_f1 () =
     (List.length finished >= List.length seeds / 3)
 
 let test_random_cheap_f2 () =
-  let finished = List.filter (fun s -> run_one ~sys:(`Cheap 2) ~seed:s) seeds in
+  let finished = List.filter (fun s -> run_one ~sys:(`Cheap 2) ~seed:s ()) seeds in
   Alcotest.(check bool)
     (Printf.sprintf "some runs finished (%d/%d)" (List.length finished)
        (List.length seeds))
@@ -113,9 +115,25 @@ let test_random_cheap_f2 () =
     (List.length finished >= List.length seeds / 3)
 
 let test_random_classic () =
-  let finished = List.filter (fun s -> run_one ~sys:(`Classic 3) ~seed:s) seeds in
+  let finished = List.filter (fun s -> run_one ~sys:(`Classic 3) ~seed:s ()) seeds in
   Alcotest.(check bool)
     (Printf.sprintf "some runs finished (%d/%d)" (List.length finished)
+       (List.length seeds))
+    true
+    (List.length finished >= List.length seeds / 3)
+
+let test_random_cheap_f1_batched () =
+  (* The same random crash/restart sweep with multi-command batches and a
+     shallow pipeline: recovery must re-propose batch entries intact, and
+     at-most-once must hold across batch boundaries. *)
+  let params =
+    { Cp_engine.Params.default with batch_max_cmds = 8; pipeline_window = 4 }
+  in
+  let finished =
+    List.filter (fun s -> run_one ~params ~sys:(`Cheap 1) ~seed:s ()) seeds
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "some batched runs finished (%d/%d)" (List.length finished)
        (List.length seeds))
     true
     (List.length finished >= List.length seeds / 3)
@@ -256,6 +274,8 @@ let suite =
     Alcotest.test_case "random schedules, cheap f=1" `Slow test_random_cheap_f1;
     Alcotest.test_case "random schedules, cheap f=2" `Slow test_random_cheap_f2;
     Alcotest.test_case "random schedules, classic" `Slow test_random_classic;
+    Alcotest.test_case "random schedules, cheap f=1 batched" `Slow
+      test_random_cheap_f1_batched;
     Alcotest.test_case "linearizability under faults" `Slow
       test_linearizability_under_faults;
     Alcotest.test_case "heavy loss, no crash" `Quick test_heavy_loss_no_crash;

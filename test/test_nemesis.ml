@@ -136,8 +136,8 @@ let test_kitchen_sink () =
     {
       Cp_engine.Params.default with
       enable_leases = true;
-      batch_max = 8;
-      pipeline_max = 4;
+      batch_max_cmds = 8;
+      pipeline_window = 4;
     }
   in
   let cluster =

@@ -89,6 +89,97 @@ let test_echo_roundtrip () =
   Node.shutdown pinger;
   Alcotest.(check int) "echoed +1" 42 !got
 
+let errors_of node =
+  Node.with_lock node (fun () -> Cp_sim.Metrics.get (Node.metrics node) "handler_errors")
+
+let test_handler_exceptions_survive () =
+  (* Exceptions escaping protocol handlers must not kill the dispatch
+     threads (nor, for the timer thread, poison the node lock): the node
+     keeps serving and counts the errors. *)
+  let got = ref 0 in
+  let node =
+    Node.create ~port_of ~id_of_port ~id:5 ~seed:1
+      ~build:(fun ctx ->
+        ignore (ctx.Engine.set_timer ~tag:"boom" 0.02);
+        ignore (ctx.Engine.set_timer ~tag:"ok" 0.06);
+        {
+          Engine.on_message =
+            (fun ~src:_ msg ->
+              match msg with
+              | Types.CommitFloor { upto = 0 } -> failwith "poisoned message"
+              | Types.CommitFloor _ -> incr got
+              | _ -> ());
+          on_timer =
+            (fun ~tid:_ ~tag ->
+              if tag = "boom" then failwith "poisoned timer" else incr got);
+        })
+      ()
+  in
+  let sender =
+    Node.create ~port_of ~id_of_port ~id:6 ~seed:2
+      ~build:(fun ctx ->
+        (* First datagram raises in the receiver's handler; the timer sends a
+           second one that must still be served. *)
+        ctx.Engine.send 5 (Types.CommitFloor { upto = 0 });
+        ignore (ctx.Engine.set_timer ~tag:"second" 0.1);
+        {
+          Engine.on_message = (fun ~src:_ _ -> ());
+          on_timer =
+            (fun ~tid:_ ~tag:_ -> ctx.Engine.send 5 (Types.CommitFloor { upto = 1 }));
+        })
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while !got < 2 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  let errors = errors_of node in
+  Node.shutdown node;
+  Node.shutdown sender;
+  Alcotest.(check int) "timer and later message still served" 2 !got;
+  Alcotest.(check bool)
+    (Printf.sprintf "handler_errors (%d) >= 2" errors)
+    true (errors >= 2)
+
+let test_unknown_source_port_dropped () =
+  (* A datagram whose source port the user-supplied map rejects must be
+     dropped and counted, not kill the receive thread. *)
+  let got = ref 0 in
+  let strict_id_of_port p = if p = port_of 8 then raise Not_found else id_of_port p in
+  let node =
+    Node.create ~port_of ~id_of_port:strict_id_of_port ~id:7 ~seed:1
+      ~build:(fun _ ->
+        {
+          Engine.on_message = (fun ~src:_ _ -> incr got);
+          on_timer = (fun ~tid:_ ~tag:_ -> ());
+        })
+      ()
+  in
+  let mk_sender id upto =
+    Node.create ~port_of ~id_of_port ~id ~seed:id
+      ~build:(fun ctx ->
+        ctx.Engine.send 7 (Types.CommitFloor { upto });
+        { Engine.on_message = (fun ~src:_ _ -> ()); on_timer = (fun ~tid:_ ~tag:_ -> ()) })
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  let sender8 = mk_sender 8 1 in
+  (* Wait for the rejected datagram before sending the accepted one, so the
+     final counts are deterministic. *)
+  while errors_of node < 1 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  let sender9 = mk_sender 9 2 in
+  while !got < 1 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  let errors = errors_of node in
+  Node.shutdown node;
+  Node.shutdown sender8;
+  Node.shutdown sender9;
+  Alcotest.(check int) "only the mapped peer delivered" 1 !got;
+  Alcotest.(check bool) (Printf.sprintf "drop counted (%d)" errors) true (errors >= 1)
+
 let test_shutdown_idempotent () =
   let node =
     Node.create ~port_of ~id_of_port ~id:4 ~seed:1
@@ -112,5 +203,7 @@ let suite =
     Alcotest.test_case "timers fire in order" `Slow test_timers_fire_in_order;
     Alcotest.test_case "timer cancel" `Slow test_timer_cancel;
     Alcotest.test_case "echo roundtrip" `Slow test_echo_roundtrip;
+    Alcotest.test_case "handler exceptions survive" `Slow test_handler_exceptions_survive;
+    Alcotest.test_case "unknown source port dropped" `Slow test_unknown_source_port_dropped;
     Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
   ]

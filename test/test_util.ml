@@ -139,6 +139,32 @@ let prop_heap_interleaved =
           end)
         ops)
 
+let test_heap_releases_popped () =
+  (* [pop] must clear the vacated backing-array slot: a popped element has to
+     become collectable while the heap itself stays alive. *)
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  let w = Weak.create 8 in
+  for i = 0 to 7 do
+    let payload = ref (Bytes.create 64) in
+    Weak.set w i (Some payload);
+    Heap.push h (i, payload)
+  done;
+  for _ = 0 to 7 do
+    ignore (Heap.pop h)
+  done;
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to 7 do
+    if Weak.check w i then incr live
+  done;
+  Alcotest.(check int) "popped elements still retained" 0 !live;
+  (* The heap must remain fully usable over the cleared slots. *)
+  List.iter (fun i -> Heap.push h (i, ref (Bytes.create 1))) [ 3; 1; 2 ];
+  (match Heap.pop h with
+  | Some (k, _) -> Alcotest.(check int) "min after reuse" 1 k
+  | None -> Alcotest.fail "heap unusable after clearing");
+  Alcotest.(check int) "size after reuse" 2 (Heap.size h)
+
 (* --- Stats ------------------------------------------------------------ *)
 
 let feq name a b = Alcotest.(check (float 1e-9)) name a b
@@ -240,6 +266,7 @@ let suite =
     Alcotest.test_case "rng shuffle permutation" `Quick test_rng_shuffle_permutation;
     Alcotest.test_case "rng pick" `Quick test_rng_pick;
     Alcotest.test_case "heap basic" `Quick test_heap_basic;
+    Alcotest.test_case "heap releases popped elements" `Quick test_heap_releases_popped;
     Alcotest.test_case "stats summary" `Quick test_stats_summary;
     Alcotest.test_case "stats empty" `Quick test_stats_empty;
     Alcotest.test_case "stats quantile interpolation" `Quick test_stats_quantile_interpolation;
