@@ -85,6 +85,21 @@ let bench_linearizability =
          | Ok b -> ignore b
          | Error e -> failwith e))
 
+let bench_codec =
+  (* Scratch-buffer encode of a typical phase-2 message: the per-message cost
+     of the wire codec on the UDP send path. *)
+  let scratch = Cp_proto.Codec.create_scratch () in
+  let msg =
+    Cp_proto.Types.P2a
+      {
+        ballot = Cp_proto.Ballot.make ~round:12 ~leader:3;
+        instance = 4242;
+        entry = Cp_proto.Types.App { client = 1007; seq = 93; op = "PUT k17 v_payload" };
+      }
+  in
+  Test.make ~name:"codec/encode-p2a-scratch"
+    (Staged.stage (fun () -> ignore (Cp_proto.Codec.encode_with scratch msg)))
+
 let bench_commit =
   (* End-to-end: a fresh f=1 Cheap Paxos cluster commits 20 commands. *)
   Test.make ~name:"sim/20-commits-f1"
@@ -105,7 +120,7 @@ let bench_commit =
 let microbenches =
   [
     bench_rng; bench_heap; bench_ballot; bench_acceptor; bench_log; bench_quorum;
-    bench_linearizability; bench_commit;
+    bench_linearizability; bench_codec; bench_commit;
   ]
 
 let run_microbenches () =
@@ -269,6 +284,185 @@ let write_batch_snapshot () =
     (if ok then "PASS" else "FAIL");
   ok
 
+(* ------------------------------------------------------------------ *)
+(* Read fast-path snapshot: a 90/10 read/write kv mix with leases off   *)
+(* (every read ordered through a log instance, so throughput is capped  *)
+(* by the proposal pipeline) and on (reads answered from the leader's   *)
+(* executed state, scaling with client count). The >= 5x read-workload  *)
+(* speedup is part of the bench verdict, as is linearizability under    *)
+(* randomized fault schedules that partition the leaseholder mid-lease. *)
+(* ------------------------------------------------------------------ *)
+
+let write_reads_snapshot () =
+  let module S = Cp_harness.Scenario in
+  let module Faults = Cp_runtime.Faults in
+  (* Enough closed-loop clients to saturate the ordered path: log-ordered
+     reads cap out at pipeline_window / commit-latency regardless of offered
+     load, while lease reads keep scaling with client count (one client RTT
+     each, no consensus instance). *)
+  let clients = 384 in
+  let per_client = if quick then 25 else 60 in
+  let read_ratio = 0.9 in
+  let duration (r : S.result) =
+    List.fold_left
+      (fun acc (id, _) ->
+        List.fold_left max acc (Cp_runtime.Cluster.series r.S.cluster id "done_at"))
+      0. r.S.client_handles
+  in
+  let tput r = float_of_int r.S.completed /. duration r in
+  let safety_ok r = match S.safety r with Ok () -> true | Error _ -> false in
+  let mains_metric (r : S.result) name =
+    Cp_runtime.Cluster.sum_metric r.S.cluster ~ids:(S.main_ids r) name
+  in
+  let run ~leases =
+    (* Batching off in both runs: the comparison isolates per-read ordering
+       cost (one consensus instance per read) against the lease fast path;
+       batch amortization is measured separately in BENCH_batch.json. *)
+    let params =
+      {
+        Cp_engine.Params.default with
+        Cp_engine.Params.enable_leases = leases;
+        batch_max_cmds = 1;
+      }
+    in
+    let spec =
+      {
+        (S.default_spec ~sys:(S.Cheap 1)) with
+        S.seed = 44;
+        params;
+        clients;
+        ops_per_client = per_client;
+        app = (module Cp_smr.Kv);
+        mk_ops =
+          (fun ~client_idx ->
+            (* Per-client RNG keyed only by the index, so both runs offer an
+               identical workload. *)
+            Cp_workload.Workload.kv_ops
+              ~rng:(Cp_util.Rng.create (7000 + client_idx))
+              ~keys:64 ~read_ratio ~count:per_client ());
+        is_read = Cp_smr.Kv.read_only;
+        deadline = 60.;
+      }
+    in
+    S.run spec
+  in
+  let ordered = run ~leases:false in
+  let leased = run ~leases:true in
+  let speedup = tput leased /. tput ordered in
+  let quiescent = match S.aux_quiescent leased with Ok () -> true | Error _ -> false in
+  (* Wire cost per operation on each path, measured with the real codec. *)
+  let wire msgs =
+    let scratch = Cp_proto.Codec.create_scratch () in
+    List.fold_left
+      (fun acc m -> acc + String.length (Cp_proto.Codec.encode_with scratch m))
+      0 msgs
+  in
+  let cmd = { Cp_proto.Types.client = 1007; seq = 93; op = "GET k17" } in
+  let ballot = Cp_proto.Ballot.make ~round:1 ~leader:0 in
+  let resp = Cp_proto.Types.ClientResp { client = 1007; seq = 93; result = "v_payload" } in
+  let leased_read_bytes = wire [ Cp_proto.Types.ClientRead cmd; resp ] in
+  let ordered_read_bytes =
+    wire
+      [
+        Cp_proto.Types.ClientRead cmd;
+        Cp_proto.Types.P2a { ballot; instance = 4242; entry = Cp_proto.Types.App cmd };
+        Cp_proto.Types.P2b { ballot; instance = 4242; from = 1 };
+        Cp_proto.Types.Commit { instance = 4242; entry = Cp_proto.Types.App cmd };
+        resp;
+      ]
+  in
+  (* Randomized fault schedules: partition the leaseholder (with some of its
+     clients) away from the other main + auxiliary mid-lease; the cut-off
+     side must stop serving reads once its lease can have expired, while the
+     majority side elects through the auxiliary and commits writes. Verified
+     by the linearizability checker over the merged client histories plus
+     the trace-level no-stale-read checker (inside S.safety). *)
+  let fault_run seed =
+    let rng = Cp_util.Rng.create (900 + seed) in
+    let t_part = 0.03 +. Cp_util.Rng.float rng 0.05 in
+    let t_heal = t_part +. 0.05 +. Cp_util.Rng.float rng 0.05 in
+    let params = { Cp_engine.Params.default with Cp_engine.Params.enable_leases = true } in
+    let spec =
+      {
+        (S.default_spec ~sys:(S.Cheap 1)) with
+        S.seed = seed;
+        params;
+        clients = 4;
+        ops_per_client = 120;
+        app = (module Cp_smr.Kv);
+        mk_ops =
+          (fun ~client_idx ->
+            Cp_workload.Workload.kv_ops
+              ~rng:(Cp_util.Rng.create (8000 + (100 * seed) + client_idx))
+              ~keys:4 ~read_ratio ~count:120 ());
+        is_read = Cp_smr.Kv.read_only;
+        faults =
+          [
+            (* Clients 1000-1001 stay with the old leaseholder (node 0) and
+               keep offering it reads; 1002-1003 follow the majority. *)
+            (t_part, Faults.Partition [ [ 0; 1000; 1001 ]; [ 1; 2; 1002; 1003 ] ]);
+            (t_heal, Faults.Heal);
+          ];
+        deadline = 30.;
+      }
+    in
+    let r = S.run spec in
+    let hist = List.concat_map (fun (_, c) -> Cp_smr.Client.history c) r.S.client_handles in
+    let lin =
+      match Cp_checker.Linearizability.check_kv hist with Ok b -> b | Error _ -> false
+    in
+    (seed, t_part, t_heal, r, lin)
+  in
+  let fault_seeds = if quick then [ 61; 62 ] else [ 61; 62; 63; 64 ] in
+  let fault_runs = List.map fault_run fault_seeds in
+  let fault_ok =
+    List.for_all (fun (_, _, _, r, lin) -> r.S.finished && lin && safety_ok r) fault_runs
+  in
+  let side name r extra =
+    Printf.sprintf
+      "  %S: {\"completed\": %d, \"finished\": %b, \"throughput\": %.1f, \
+       \"log_instances\": %d, \"safety_ok\": %b%s}"
+      name r.S.completed r.S.finished (tput r) (mains_metric r "chosen") (safety_ok r)
+      extra
+  in
+  let oc = open_out "BENCH_reads.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"clients\": %d,\n  \"ops_per_client\": %d,\n" clients per_client;
+  Printf.fprintf oc "  \"read_ratio\": %.2f,\n  \"batch_max_cmds\": 1,\n" read_ratio;
+  Printf.fprintf oc "%s,\n" (side "ordered" ordered "");
+  Printf.fprintf oc "%s,\n"
+    (side "leased" leased
+       (Printf.sprintf ", \"lease_reads\": %d, \"lease_read_fallbacks\": %d"
+          (mains_metric leased "lease_reads")
+          (mains_metric leased "lease_read_fallbacks")));
+  Printf.fprintf oc "  \"read_speedup\": %.3f,\n" speedup;
+  Printf.fprintf oc "  \"aux_quiescent_leased\": %b,\n" quiescent;
+  Printf.fprintf oc "  \"leased_read_wire_bytes\": %d,\n" leased_read_bytes;
+  Printf.fprintf oc "  \"ordered_read_wire_bytes\": %d,\n" ordered_read_bytes;
+  Printf.fprintf oc "  \"fault_runs\": [\n%s\n  ]\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (seed, t_part, t_heal, r, lin) ->
+            Printf.sprintf
+              "    {\"seed\": %d, \"partition_at\": %.4f, \"heal_at\": %.4f, \
+               \"finished\": %b, \"linearizable\": %b, \"safety_ok\": %b, \
+               \"lease_reads\": %d}"
+              seed t_part t_heal r.S.finished lin (safety_ok r)
+              (mains_metric r "lease_reads"))
+          fault_runs));
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  let ok =
+    ordered.S.finished && leased.S.finished && safety_ok ordered && safety_ok leased
+    && quiescent && speedup >= 5.0 && fault_ok
+  in
+  Printf.printf
+    "wrote BENCH_reads.json (ordered %.0f ops/s, leased %.0f ops/s, speedup %.2fx, \
+     aux quiescent: %b, fault schedules linearizable: %b) -- %s\n"
+    (tput ordered) (tput leased) speedup quiescent fault_ok
+    (if ok then "PASS" else "FAIL");
+  ok
+
 let () =
   Printf.printf "Cheap Paxos evaluation%s\n" (if quick then " (quick mode)" else "");
   let outcomes = Cp_harness.Experiments.run_all ~quick () in
@@ -276,8 +470,9 @@ let () =
     (Cp_harness.Outcome.to_table outcomes);
   write_obs_snapshot ();
   let batch_ok = write_batch_snapshot () in
+  let reads_ok = write_reads_snapshot () in
   run_microbenches ();
-  if Cp_harness.Outcome.all_pass outcomes && batch_ok then
+  if Cp_harness.Outcome.all_pass outcomes && batch_ok && reads_ok then
     print_endline "\nALL CLAIMS REPRODUCED"
   else begin
     print_endline "\nSOME CLAIMS FAILED";

@@ -69,7 +69,7 @@ let experiments_cmd =
           Stdlib.exit (run_experiments quick (List.map String.lowercase_ascii only) csv))
       $ quick_flag $ only_arg $ csv_arg)
 
-let run_demo seed trace trace_jsonl batch pipeline linger =
+let run_demo seed trace trace_jsonl batch pipeline linger read_ratio lease =
   let module Cluster = Cp_runtime.Cluster in
   let module Faults = Cp_runtime.Faults in
   let initial = Cheap_paxos.Cheap.initial_config ~f:1 in
@@ -79,6 +79,7 @@ let run_demo seed trace trace_jsonl batch pipeline linger =
       Cp_engine.Params.batch_max_cmds = batch;
       pipeline_window = pipeline;
       batch_linger = linger;
+      enable_leases = lease;
     }
   in
   let cluster =
@@ -89,10 +90,12 @@ let run_demo seed trace trace_jsonl batch pipeline linger =
     Cp_sim.Engine.on_event (Cluster.engine cluster) (fun r ->
         Format.printf "%a@." Cp_obs.Trace.pp_record r);
   let rng = Cp_util.Rng.create seed in
-  let ops = Cp_workload.Workload.kv_ops ~rng ~keys:8 ~read_ratio:0.4 ~count:60 () in
+  let ops = Cp_workload.Workload.kv_ops ~rng ~keys:8 ~read_ratio ~count:60 () in
   (* A little think time stretches the run past the fault window, so the
      trace actually shows the failover story (engage → remove → quiesce). *)
-  let _, client = Cluster.add_client cluster ~think:2e-3 ~ops () in
+  let _, client =
+    Cluster.add_client cluster ~think:2e-3 ~is_read:Cp_smr.Kv.read_only ~ops ()
+  in
   Faults.schedule cluster [ (0.02, Faults.Crash 1); (0.2, Faults.Restart 1) ];
   let finished =
     Cluster.run_until cluster ~deadline:5. (fun () -> Cp_smr.Client.is_finished client)
@@ -100,6 +103,10 @@ let run_demo seed trace trace_jsonl batch pipeline linger =
   Printf.printf "\nfinished=%b ops=%d leader=%s\n" finished
     (Cp_smr.Client.done_count client)
     (match Cluster.leader cluster with Some l -> string_of_int l | None -> "none");
+  if lease then
+    Printf.printf "lease reads served locally: %d (fallbacks to ordering: %d)\n"
+      (Cluster.sum_metric cluster ~ids:(Cluster.mains cluster) "lease_reads")
+      (Cluster.sum_metric cluster ~ids:(Cluster.mains cluster) "lease_read_fallbacks");
   (match trace_jsonl with
   | None -> ()
   | Some path ->
@@ -146,10 +153,25 @@ let demo_cmd =
       & info [ "linger" ] ~docv:"SECONDS"
           ~doc:"How long the leader may hold a non-full batch open for more commands.")
   in
+  let read_ratio =
+    Arg.(
+      value
+      & opt float 0.4
+      & info [ "read-ratio" ] ~docv:"R"
+          ~doc:"Fraction of client operations that are GETs (0.0-1.0).")
+  in
+  let lease =
+    Arg.(
+      value & flag
+      & info [ "lease" ]
+          ~doc:
+            "Enable leader leases: reads are served from the leader's executed \
+             state without a consensus instance while its lease holds.")
+  in
   Cmd.v (Cmd.info "demo" ~doc)
     Term.(
-      const (fun s t j b p l -> Stdlib.exit (run_demo s t j b p l))
-      $ seed $ trace $ trace_jsonl $ batch $ pipeline $ linger)
+      const (fun s t j b p l r le -> Stdlib.exit (run_demo s t j b p l r le))
+      $ seed $ trace $ trace_jsonl $ batch $ pipeline $ linger $ read_ratio $ lease)
 
 (* ------------------------------------------------------------------ *)
 (* Real multi-process cluster: `node` runs one machine over UDP,      *)

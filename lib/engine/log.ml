@@ -49,9 +49,14 @@ let truncate_below t n =
     if t.prefix < n then t.prefix <- n
   end
 
+(* Seek to [lo] and walk in order until [hi]: O(log n + window), so catchup
+   serving cost tracks the requested window, not total log size. *)
 let range t ~lo ~hi =
-  IMap.fold (fun i e acc -> if i >= lo && i < hi then (i, e) :: acc else acc) t.entries []
-  |> List.rev
+  if hi <= lo then []
+  else
+    IMap.to_seq_from lo t.entries
+    |> Seq.take_while (fun (i, _) -> i < hi)
+    |> List.of_seq
 
 let entry_count t = IMap.cardinal t.entries
 

@@ -13,6 +13,7 @@ type t = {
   client_timeout : float;
   enable_leases : bool;
   lease_guard : float;
+  lease_margin : float;
   batch_max_cmds : int;
   batch_max_bytes : int;
   batch_linger : float;
@@ -37,6 +38,7 @@ let default =
     client_timeout = 50e-3;
     enable_leases = false;
     lease_guard = 25e-3;
+    lease_margin = 0.2;
     batch_max_cmds = 1;
     batch_max_bytes = 64 * 1024;
     batch_linger = 0.;

@@ -25,8 +25,15 @@ type t = {
           refusing new-leader promises within [lease_guard] of their last
           leader contact. Off by default. *)
   lease_guard : float;
-      (** the promise-refusal window; the lease itself is 0.8 of it, leaving
-          margin. Must not exceed [leader_timeout] or failover slows down. *)
+      (** the promise-refusal window; the lease the leader trusts is
+          [(1 - lease_margin) * lease_guard], leaving slack for clock-rate
+          skew. Must not exceed [leader_timeout] or failover slows down. *)
+  lease_margin : float;
+      (** dimensionless fraction of [lease_guard] surrendered as clock-skew
+          safety margin (default 0.2): a granter's refusal window outlives
+          the leader's trusted lease by [lease_margin * lease_guard] even if
+          the two clocks drift apart by that much over one guard period.
+          Not scaled by {!scale} (it is a ratio, not a duration). *)
   batch_max_cmds : int;
       (** maximum client commands packed into one log instance (1 = no
           batching). Batching divides per-command consensus cost by the

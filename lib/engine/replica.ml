@@ -50,6 +50,11 @@ type lead = {
   l_echo : (int, float) Hashtbl.t;
       (* main -> latest heartbeat send-time it has echoed; the basis of the
          read lease (send times, never receipt times) *)
+  mutable l_lease_held : bool;
+      (* last reported lease_valid edge; drives Lease_acquired/Lease_lost *)
+  l_reads : Types.command Queue.t;
+      (* read-only commands fenced behind the apply point of writes they
+         could observe; re-checked and drained by the tick *)
   l_suspected : (int, unit) Hashtbl.t;
       (* mains currently failing the leader's failure detector; while any
          main is suspected, new proposals are widened to the auxiliaries
@@ -565,6 +570,8 @@ let become_leader t (c : candidate) =
       l_last_hb = now t;
       l_acks = Hashtbl.create 8;
       l_echo = Hashtbl.create 8;
+      l_lease_held = false;
+      l_reads = Queue.create ();
       l_suspected = Hashtbl.create 4;
       l_aux_floor_sent = 0;
       (* If phase 1 reached the auxiliaries they may hold votes up to any
@@ -624,10 +631,12 @@ let try_finish_phase1 t (c : candidate) =
   let cfgs = Configs.covering t.configs ~low:c.c_low in
   let have_quorums = List.for_all (fun cfg -> Config.is_quorum cfg responders) cfgs in
   if have_quorums then begin
-    if c.c_max_compacted > Log.prefix t.log then
+    if c.c_max_compacted > Log.prefix t.log then begin
       (* Some acceptor compacted instances we have not chosen yet; they are
          durably chosen on the mains — fetch them before leading. *)
+      metric t "catchup_before_lead";
       request_catchup t (Configs.latest t.configs).Config.mains
+    end
     else become_leader t c
   end
 
@@ -635,6 +644,13 @@ let step_down t ballot =
   if Ballot.(t.max_seen < ballot) then t.max_seen <- ballot;
   (match t.state with
   | Leader _ | Candidate _ ->
+    (match t.state with
+    | Leader lead when lead.l_lease_held ->
+      lead.l_lease_held <- false;
+      event t (Obs.Event.Lease_lost { reason = "stepped_down" })
+      (* Deferred reads die with the leadership ([l_reads] is unreachable
+         once the state changes); clients time out and retry elsewhere. *)
+    | Leader _ | Candidate _ | Follower -> ());
     tracef t "step down for %a" Ballot.pp ballot;
     event t
       (Obs.Event.Stepped_down
@@ -778,31 +794,25 @@ let on_heartbeat t ~src ~ballot ~commit_floor ~sent_at =
     maybe_catchup t ~their_floor:commit_floor
   end
 
-let on_heartbeat_ack t ~from ~ballot ~prefix ~echo =
-  match t.state with
-  | Leader lead when Ballot.equal ballot lead.l_ballot ->
-    Hashtbl.replace lead.l_acks from (now t, prefix);
-    let prev = Option.value ~default:neg_infinity (Hashtbl.find_opt lead.l_echo from) in
-    if echo > prev then Hashtbl.replace lead.l_echo from echo;
-    update_aux_floor t lead
-  | Leader _ | Candidate _ | Follower -> ()
-
 (* The lease holds while every main of every configuration still governing
    instances ≥ our prefix has echoed a heartbeat sent within the last
-   0.8 * guard. Any usurper that could commit a write is a main of one of
-   those configurations (its own quorums each contain such a main, and the
-   candidate itself is one), and a main only cooperates with a usurper — or
-   campaigns — once its own leader contact is older than the full guard; the
-   0.2 * guard difference is the safety margin. Using only the *latest*
-   config here would be unsound: during a reconfiguration window a removed
-   (but possibly alive) main still belongs to the governing config and could
-   win an election through the auxiliaries. *)
+   (1 - lease_margin) * guard. Any usurper that could commit a write is a
+   main of one of those configurations (its own quorums each contain such a
+   main, and the candidate itself is one), and a main only cooperates with a
+   usurper — or campaigns — once its own leader contact is older than the
+   full guard; the lease_margin * guard difference is the clock-skew safety
+   margin. Using only the *latest* config here would be unsound: during a
+   reconfiguration window a removed (but possibly alive) main still belongs
+   to the governing config and could win an election through the
+   auxiliaries. *)
 let lease_valid t lead =
   t.params.Params.enable_leases
   &&
   let cfgs = Configs.covering t.configs ~low:(Log.prefix t.log) in
   let mains = List.concat_map (fun c -> c.Config.mains) cfgs |> List.sort_uniq compare in
-  let deadline = now t -. (0.8 *. t.params.Params.lease_guard) in
+  let deadline =
+    now t -. ((1. -. t.params.Params.lease_margin) *. t.params.Params.lease_guard)
+  in
   List.for_all
     (fun m ->
       m = t.ctx.Engine.self
@@ -811,6 +821,29 @@ let lease_valid t lead =
       | Some echoed -> echoed >= deadline
       | None -> false)
     mains
+
+(* Re-evaluate the lease and report the edge; returns its current validity. *)
+let refresh_lease t lead ~reason =
+  let valid = lease_valid t lead in
+  if valid && not lead.l_lease_held then begin
+    lead.l_lease_held <- true;
+    event t (Obs.Event.Lease_acquired { round = lead.l_ballot.Ballot.round })
+  end
+  else if (not valid) && lead.l_lease_held then begin
+    lead.l_lease_held <- false;
+    event t (Obs.Event.Lease_lost { reason })
+  end;
+  valid
+
+let on_heartbeat_ack t ~from ~ballot ~prefix ~echo =
+  match t.state with
+  | Leader lead when Ballot.equal ballot lead.l_ballot ->
+    Hashtbl.replace lead.l_acks from (now t, prefix);
+    let prev = Option.value ~default:neg_infinity (Hashtbl.find_opt lead.l_echo from) in
+    if echo > prev then Hashtbl.replace lead.l_echo from echo;
+    ignore (refresh_lease t lead ~reason:"expired");
+    update_aux_floor t lead
+  | Leader _ | Candidate _ | Follower -> ()
 
 let on_catchup_req t ~src ~from_instance =
   if t.role_ = Main then begin
@@ -876,6 +909,30 @@ let on_join_req t ~from =
     end
   | Leader _ | Candidate _ | Follower -> ()
 
+(* Fence: a lease read must not be served ahead of the apply point of any
+   write it could have observed. Two cases: (a) a fresh leadership whose
+   phase-1 recovered instances are not all executed yet — local state may
+   miss writes completed under the predecessor; (b) an earlier command from
+   the same client still queued or in flight — the client issued it first,
+   so program order requires the read to see it. Writes from *other* clients
+   still in flight are concurrent with this read, so serving before they
+   apply is a legal linearization (they only reply after execution). *)
+let read_fenced t lead (cmd : Types.command) =
+  t.executed_ < lead.l_recover_hi
+  || Hashtbl.fold
+       (fun (c, s) () acc -> acc || (c = cmd.client && s < cmd.seq))
+       lead.l_inflight_cmds false
+  || Queue.fold
+       (fun acc (q : Types.command) -> acc || (q.client = cmd.client && q.seq < cmd.seq))
+       false lead.l_queue
+
+let serve_lease_read t (cmd : Types.command) =
+  metric t "lease_reads";
+  event t
+    (Obs.Event.Lease_read_served { client = cmd.client; seq = cmd.seq; upto = t.executed_ });
+  let result = t.app.Appi.apply cmd.op in
+  send t cmd.client (Types.ClientResp { client = cmd.client; seq = cmd.seq; result })
+
 let on_client_req t (cmd : Types.command) =
   match t.state with
   | Leader lead -> begin
@@ -889,7 +946,17 @@ let on_client_req t (cmd : Types.command) =
       send t cmd.client (Types.ClientResp { client = cmd.client; seq = cmd.seq; result })
     | `Evicted -> () (* ancient duplicate: reply evicted, nothing to say *)
     | `New ->
-      if not (Hashtbl.mem lead.l_inflight_cmds (cmd.client, cmd.seq)) then begin
+      if
+        t.params.Params.enable_leases
+        && t.app.Appi.read_only cmd.op
+        && (not (Hashtbl.mem lead.l_inflight_cmds (cmd.client, cmd.seq)))
+        && refresh_lease t lead ~reason:"expired"
+        && not (read_fenced t lead cmd)
+      then
+        (* Read-only and unfenced: answer locally even though the client used
+           the ordered submit path — ordering it would buy nothing. *)
+        serve_lease_read t cmd
+      else if not (Hashtbl.mem lead.l_inflight_cmds (cmd.client, cmd.seq)) then begin
         if Queue.length lead.l_queue >= t.params.Params.queue_limit then
           (* Backpressure: the pipeline window is full and the queue is at
              capacity. Drop; the client's backoff retry re-offers it later. *)
@@ -913,20 +980,52 @@ let on_client_req t (cmd : Types.command) =
 
 let on_client_read t (cmd : Types.command) =
   match t.state with
-  | Leader lead when lease_valid t lead ->
-    (* Local linearizable read: our applied state reflects every committed
-       write, and no new leader can commit until the lease expires. *)
-    metric t "lease_reads";
-    let result = t.app.Appi.apply cmd.op in
-    send t cmd.client (Types.ClientResp { client = cmd.client; seq = cmd.seq; result })
-  | Leader _ ->
-    metric t "lease_read_fallbacks";
-    on_client_req t cmd
+  | Leader lead ->
+    if not (t.app.Appi.read_only cmd.op) then begin
+      (* A mutating op on the read path would apply off-log and silently
+         diverge this replica from the rest; force it through ordering. *)
+      metric t "lease_rejects";
+      on_client_req t cmd
+    end
+    else if refresh_lease t lead ~reason:"expired" then begin
+      (* Local linearizable read: our applied state reflects every committed
+         write, and no new leader can commit until the lease expires — but a
+         fenced read must wait for the apply point it could observe. *)
+      if read_fenced t lead cmd then begin
+        metric t "lease_reads_deferred";
+        Queue.push cmd lead.l_reads
+      end
+      else serve_lease_read t cmd
+    end
+    else begin
+      metric t "lease_read_fallbacks";
+      on_client_req t cmd
+    end
   | Candidate _ ->
     if Queue.length t.pre_queue >= t.params.Params.queue_limit then
       metric t "backpressure_drops"
     else Queue.push cmd t.pre_queue
   | Follower -> send t cmd.client (Types.Redirect { leader_hint = t.leader_hint_ })
+
+(* Deferred reads: serve those whose fence has cleared — still from local
+   state if the lease survived, through the ordered path if it lapsed.
+   Driven by the tick, so a deferred read resolves within a tick of its
+   fence clearing. *)
+let drain_deferred_reads t lead =
+  if not (Queue.is_empty lead.l_reads) then begin
+    let pending = Queue.create () in
+    Queue.transfer lead.l_reads pending;
+    let valid = refresh_lease t lead ~reason:"expired" in
+    Queue.iter
+      (fun (cmd : Types.command) ->
+        if not valid then begin
+          metric t "lease_read_fallbacks";
+          on_client_req t cmd
+        end
+        else if read_fenced t lead cmd then Queue.push cmd lead.l_reads
+        else serve_lease_read t cmd)
+      pending
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Tick: timeouts, retransmission, failure detection                   *)
@@ -1021,6 +1120,10 @@ let on_tick t =
       (* Re-campaign with a fresh ballot: the covering configurations now
          include the one our old phase 1 did not reach. If the executed
          reconfiguration removed us, we are not eligible — stay a follower. *)
+      if lead.l_lease_held then begin
+        lead.l_lease_held <- false;
+        event t (Obs.Event.Lease_lost { reason = "abdicated" })
+      end;
       t.state <- Follower;
       draw_fuzz t;
       t.last_leader_contact <- t_now;
@@ -1031,7 +1134,9 @@ let on_tick t =
       if t_now -. lead.l_last_hb >= t.params.hb_interval then send_heartbeats t lead;
       retransmit_pending t lead;
       suspect_mains t lead;
-      pump t lead
+      pump t lead;
+      ignore (refresh_lease t lead ~reason:"expired");
+      drain_deferred_reads t lead
     end
   | Candidate c ->
     if t_now -. c.c_started > t.params.leader_timeout then begin

@@ -783,9 +783,8 @@ let e10_run ~quick =
         ~app:(module Cp_smr.Kv) ()
     in
     let rng = Rng.create (seed + 1) in
-    let is_read op = String.length op >= 3 && String.sub op 0 3 = "GET" in
     let ops = Workload.kv_ops ~rng ~keys:32 ~read_ratio ~count:total () in
-    let _, client = Cluster.add_client cluster ~is_read ~ops () in
+    let _, client = Cluster.add_client cluster ~is_read:Cp_smr.Kv.read_only ~ops () in
     let finished =
       Cluster.run_until cluster ~deadline:30. (fun () -> Cp_smr.Client.is_finished client)
     in

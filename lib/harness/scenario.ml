@@ -16,6 +16,7 @@ type spec = {
   think : float;
   app : (module Appi.S);
   mk_ops : client_idx:int -> int -> string option;
+  is_read : string -> bool;
   faults : (float * Faults.event) list;
   deadline : float;
   spare_mains : int;
@@ -33,6 +34,7 @@ let default_spec ~sys =
     think = 0.;
     app = (module Cp_smr.Counter);
     mk_ops = (fun ~client_idx:_ seq -> Cp_workload.Workload.counter_ops ~count:200 seq);
+    is_read = (fun _ -> false);
     faults = [];
     deadline = 10.;
     spare_mains = 0;
@@ -61,7 +63,8 @@ let run spec =
   Faults.schedule cluster spec.faults;
   let client_handles =
     List.init spec.clients (fun i ->
-        Cluster.add_client cluster ~think:spec.think ~ops:(spec.mk_ops ~client_idx:i) ())
+        Cluster.add_client cluster ~think:spec.think ~is_read:spec.is_read
+          ~ops:(spec.mk_ops ~client_idx:i) ())
   in
   let all_done () = List.for_all (fun (_, c) -> Client.is_finished c) client_handles in
   let finished = Cluster.run_until cluster ~deadline:spec.deadline all_done in

@@ -19,6 +19,9 @@ type spec = {
   think : float;
   app : (module Appi.S);
   mk_ops : client_idx:int -> int -> string option;
+  is_read : string -> bool;
+      (** ops submitted as [ClientRead] (lease fast-path candidates); default
+          never — everything takes the ordered path *)
   faults : (float * Cp_runtime.Faults.event) list;
   deadline : float;
   spare_mains : int;

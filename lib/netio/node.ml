@@ -25,6 +25,7 @@ type t = {
   start : float;
   metrics : Cp_sim.Metrics.t;
   trace_ : Obs.Trace.t;
+  scratch : Codec.scratch; (* guarded by [lock]; senders hold it already *)
 }
 
 let now t = Unix.gettimeofday () -. t.start
@@ -34,9 +35,10 @@ let with_lock t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let send t dst msg =
-  let payload = Codec.encode msg in
+  let payload = Codec.encode_with t.scratch msg in
   Cp_sim.Metrics.incr t.metrics "msgs_sent";
   Cp_sim.Metrics.incr t.metrics ~by:(String.length payload) "bytes_sent";
+  Cp_sim.Metrics.incr t.metrics ~by:(String.length payload) "encoded_bytes";
   Cp_sim.Metrics.incr t.metrics ("sent." ^ Types.classify msg);
   try
     ignore
@@ -178,6 +180,7 @@ let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity) 
       start = Unix.gettimeofday ();
       metrics = Cp_sim.Metrics.create ();
       trace_ = Obs.Trace.create ~capacity:trace_capacity ();
+      scratch = Codec.create_scratch ();
     }
   in
   let ctx =

@@ -121,6 +121,45 @@ let reconfig_ordering records =
         | _ -> Ok ()))
     (Ok ()) records
 
+(* A lease read served from executed prefix [upto] is stale if any OTHER node
+   had, by serve time, executed an instance ≥ [upto]: the log already held
+   entries the serving node missed, so a write could have completed elsewhere
+   that this read fails to observe. Under a healthy single leader this never
+   triggers — followers only execute after the leader's own execute+Commit —
+   so any hit means a partitioned leaseholder answered after its lease should
+   have died at the granters. *)
+let no_stale_reads records =
+  let executed = Hashtbl.create 8 in
+  (* node -> highest instance executed so far *)
+  List.fold_left
+    (fun acc (r : Trace.record) ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () -> (
+        match r.Trace.ev with
+        | Event.Command_executed { instance } ->
+          let cur =
+            Option.value (Hashtbl.find_opt executed r.Trace.node) ~default:min_int
+          in
+          if instance > cur then Hashtbl.replace executed r.Trace.node instance;
+          Ok ()
+        | Event.Lease_read_served { client; seq; upto } ->
+          let offender =
+            Hashtbl.fold
+              (fun node mx acc ->
+                if node <> r.Trace.node && mx >= upto then Some (node, mx) else acc)
+              executed None
+          in
+          (match offender with
+          | None -> Ok ()
+          | Some (node, mx) ->
+            err
+              "stale read: node %d served %d.%d from executed prefix %d at %.4fs but \
+               node %d had already executed instance %d"
+              r.Trace.node client seq upto r.Trace.at node mx)
+        | _ -> Ok ()))
+    (Ok ()) records
+
 let ordering records =
   let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
   monotone_execution records >>= fun () ->

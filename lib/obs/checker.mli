@@ -30,6 +30,14 @@ val reconfig_ordering : records -> (unit, string) result
 (** Every [Reconfig_committed] is preceded (anywhere in the cluster) by a
     [Reconfig_proposed] of the same change. *)
 
+val no_stale_reads : records -> (unit, string) result
+(** Every [Lease_read_served { upto; _ }] must not trail any other node's
+    execution: if some other node had already executed an instance ≥ [upto]
+    by serve time, a write the read could have missed was already applied
+    elsewhere — a partitioned leaseholder answered past its lease. Safe on
+    truncated traces (missing events can only hide violations, never invent
+    them). *)
+
 val ordering : records -> (unit, string) result
 (** [monotone_execution], then [ballot_ordering], then [reconfig_ordering]. *)
 

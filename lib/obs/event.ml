@@ -15,6 +15,9 @@ type t =
   | Command_submitted of { client : int; seq : int }
   | Command_chosen of { instance : int; batch : int }
   | Command_executed of { instance : int }
+  | Lease_acquired of { round : int }
+  | Lease_lost of { reason : string }
+  | Lease_read_served of { client : int; seq : int; upto : int }
   | Msg_recv of { src : int; kind : string }
   | Crashed
   | Restarted
@@ -33,6 +36,9 @@ let kind = function
   | Command_submitted _ -> "command_submitted"
   | Command_chosen _ -> "command_chosen"
   | Command_executed _ -> "command_executed"
+  | Lease_acquired _ -> "lease_acquired"
+  | Lease_lost _ -> "lease_lost"
+  | Lease_read_served _ -> "lease_read_served"
   | Msg_recv _ -> "msg_recv"
   | Crashed -> "crashed"
   | Restarted -> "restarted"
@@ -61,6 +67,10 @@ let fields = function
   | Command_chosen { instance; batch } ->
     [ ("instance", `I instance); ("batch", `I batch) ]
   | Command_executed { instance } -> [ ("instance", `I instance) ]
+  | Lease_acquired { round } -> [ ("round", `I round) ]
+  | Lease_lost { reason } -> [ ("reason", `S reason) ]
+  | Lease_read_served { client; seq; upto } ->
+    [ ("client", `I client); ("seq", `I seq); ("upto", `I upto) ]
   | Msg_recv { src; kind } -> [ ("src", `I src); ("kind", `S kind) ]
   | Crashed | Restarted -> []
   | Debug line -> [ ("line", `S line) ]
@@ -130,6 +140,17 @@ let of_fields ~kind fs =
   | "command_executed" ->
     let* instance = int_field fs "instance" in
     Ok (Command_executed { instance })
+  | "lease_acquired" ->
+    let* round = int_field fs "round" in
+    Ok (Lease_acquired { round })
+  | "lease_lost" ->
+    let* reason = str_field fs "reason" in
+    Ok (Lease_lost { reason })
+  | "lease_read_served" ->
+    let* client = int_field fs "client" in
+    let* seq = int_field fs "seq" in
+    let* upto = int_field fs "upto" in
+    Ok (Lease_read_served { client; seq; upto })
   | "msg_recv" ->
     let* src = int_field fs "src" in
     let* kind = str_field fs "kind" in

@@ -32,6 +32,17 @@ type t =
   | Command_submitted of { client : int; seq : int }
   | Command_chosen of { instance : int; batch : int }
   | Command_executed of { instance : int }
+  | Lease_acquired of { round : int }
+      (** the leader of ballot [round] now holds echoes from every main
+          fresh enough to serve local reads *)
+  | Lease_lost of { reason : string }
+      (** the lease lapsed ([reason] is e.g. ["expired"], ["stepped_down"]);
+          reads fall back to the ordered path until reacquired *)
+  | Lease_read_served of { client : int; seq : int; upto : int }
+      (** a read-only command answered locally from executed state; [upto]
+          is the serving node's executed-prefix pointer (first unexecuted
+          instance) at serve time — the no-stale-read checker compares it
+          against other nodes' execution progress *)
   | Msg_recv of { src : int; kind : string }
   | Crashed
   | Restarted

@@ -7,6 +7,8 @@ module type S = sig
 
   val apply : state -> string -> string
 
+  val read_only : string -> bool
+
   val snapshot : state -> string
 
   val restore : string -> state
@@ -15,6 +17,7 @@ end
 type instance = {
   app_name : string;
   apply : string -> string;
+  read_only : string -> bool;
   snapshot : unit -> string;
   restore : string -> unit;
 }
@@ -24,6 +27,7 @@ let instantiate (module A : S) =
   {
     app_name = A.name;
     apply = (fun op -> A.apply !state op);
+    read_only = A.read_only;
     snapshot = (fun () -> A.snapshot !state);
     restore = (fun s -> state := A.restore s);
   }

@@ -16,6 +16,13 @@ module type S = sig
   (** Must be deterministic: equal state and op sequences yield equal
       results on every replica. *)
 
+  val read_only : string -> bool
+  (** [read_only op] declares that [apply] on [op] never mutates state, so a
+      leaseholding leader may serve it from executed state without ordering a
+      log instance. Must be sound: misclassifying a mutating op as read-only
+      diverges the leader from the log. When unsure, return [false] — the op
+      then takes the ordered path, which is always safe. *)
+
   val snapshot : state -> string
 
   val restore : string -> state
@@ -25,6 +32,7 @@ end
 type instance = {
   app_name : string;
   apply : string -> string;
+  read_only : string -> bool;
   snapshot : unit -> string;
   restore : string -> unit;
 }

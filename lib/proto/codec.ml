@@ -193,6 +193,18 @@ let encode msg =
   encode_into buf msg;
   Buffer.contents buf
 
+(* A reusable encode buffer. Hot send paths encode thousands of messages a
+   second; reusing one per-node buffer avoids a fresh [Buffer.t] (and its
+   backing bytes) per message. Not thread-safe: one scratch per sender. *)
+type scratch = Buffer.t
+
+let create_scratch ?(size = 256) () = Buffer.create size
+
+let encode_with scratch msg =
+  Buffer.clear scratch;
+  encode_into scratch msg;
+  Buffer.contents scratch
+
 (* --- reading ------------------------------------------------------------ *)
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e

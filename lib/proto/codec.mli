@@ -15,10 +15,31 @@ val decode : string -> (Types.msg, string) result
 
 val encode_into : Buffer.t -> Types.msg -> unit
 
-(** {1 Primitives} (exposed for tests) *)
+(** {1 Scratch-buffer encoding}
+
+    [encode] allocates a fresh buffer per message; senders on hot paths should
+    hold one [scratch] and call {!encode_with}, which clears and reuses it.
+    A scratch must not be shared between threads. *)
+
+type scratch
+
+val create_scratch : ?size:int -> unit -> scratch
+(** [size] (default 256) is the initial backing capacity; the buffer grows as
+    needed and keeps its high-water capacity across messages. *)
+
+val encode_with : scratch -> Types.msg -> string
+(** Equal output to [encode msg] for every message. *)
+
+(** {1 Primitives} (exposed for tests and for app snapshot codecs) *)
 
 val write_varint : Buffer.t -> int -> unit
 (** Zig-zag varint; handles negative values. *)
 
 val read_varint : string -> pos:int -> (int * int, string) result
+(** Returns (value, next position). *)
+
+val write_string : Buffer.t -> string -> unit
+(** Varint length prefix, then the raw bytes. *)
+
+val read_string : string -> pos:int -> (string * int, string) result
 (** Returns (value, next position). *)

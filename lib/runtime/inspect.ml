@@ -45,6 +45,7 @@ let check_safety cluster =
   let traces = Engine.traces (Cluster.engine cluster) in
   let records = Obs.Trace.merge traces in
   Obs.Checker.monotone_execution records >>= fun () ->
+  Obs.Checker.no_stale_reads records >>= fun () ->
   (* The existential ordering checks need full history: skip them if any
      ring has wrapped. *)
   if List.for_all (fun tr -> Obs.Trace.dropped tr = 0) traces then

@@ -38,9 +38,14 @@ let apply (s : state) op =
     string_of_int (Hashtbl.fold (fun _ b acc -> acc + b) s 0)
   | _ -> "ERR"
 
-let snapshot (s : state) = Marshal.to_string s []
+let read_only op =
+  match String.split_on_char ' ' op with
+  | [ "BALANCE"; _ ] | [ "TOTAL" ] -> true
+  | _ -> false
 
-let restore str : state = Marshal.from_string str 0
+let snapshot (s : state) = Snap.table_snapshot Snap.write_pair_si s
+
+let restore str : state = Snap.table_restore ~app:name Snap.read_pair_si ~size:16 str
 
 let open_ a n = Printf.sprintf "OPEN %s %d" a n
 

@@ -12,6 +12,8 @@ let apply (s : state) op =
   | _ -> ());
   string_of_int !s
 
+let read_only op = op = "GET"
+
 let snapshot (s : state) = string_of_int !s
 
 let restore str : state = ref (int_of_string str)

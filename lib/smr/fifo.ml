@@ -1,4 +1,4 @@
-(* Two-list functional queue so snapshots marshal structurally. *)
+(* Two-list functional queue so snapshots serialize structurally. *)
 type state = { mutable front : string list; mutable back : string list }
 
 let name = "fifo"
@@ -24,9 +24,22 @@ let apply (s : state) op =
   | [ "LEN" ] -> string_of_int (List.length s.front + List.length s.back)
   | _ -> "ERR"
 
-let snapshot (s : state) = Marshal.to_string s []
+(* POP mutates (it dequeues), so only LEN rides the lease fast path. *)
+let read_only op = op = "LEN"
 
-let restore str : state = Marshal.from_string str 0
+let snapshot (s : state) =
+  Snap.to_string (fun buf ->
+      Snap.write_list buf Cp_proto.Codec.write_string s.front;
+      Snap.write_list buf Cp_proto.Codec.write_string s.back)
+
+let restore str : state =
+  let read s ~pos =
+    let open Snap in
+    let* front, pos = read_list Cp_proto.Codec.read_string s ~pos in
+    let* back, pos = read_list Cp_proto.Codec.read_string s ~pos in
+    Ok ({ front; back }, pos)
+  in
+  Snap.of_string ~app:name read str
 
 let push v = "PUSH " ^ v
 

@@ -23,9 +23,12 @@ let apply (s : state) op =
     match Hashtbl.find_opt s lock with Some o -> o | None -> "NONE")
   | _ -> "ERR"
 
-let snapshot (s : state) = Marshal.to_string s []
+let read_only op =
+  match String.split_on_char ' ' op with [ "HOLDER"; _ ] -> true | _ -> false
 
-let restore str : state = Marshal.from_string str 0
+let snapshot (s : state) = Snap.table_snapshot Snap.write_pair_ss s
+
+let restore str : state = Snap.table_restore ~app:name Snap.read_pair_ss ~size:16 str
 
 let acquire ~owner lock = Printf.sprintf "ACQUIRE %s %s" owner lock
 

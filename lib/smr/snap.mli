@@ -1,0 +1,41 @@
+(** Deterministic, version-stable snapshot codec shared by the bundled
+    applications. Built on {!Cp_proto.Codec}'s varint/string primitives;
+    hashtable bindings are emitted sorted by key so equal states yield
+    byte-identical snapshots on every OCaml version and insertion order. *)
+
+val ( let* ) : ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result
+
+val to_string : (Buffer.t -> unit) -> string
+
+val of_string :
+  app:string -> (string -> pos:int -> ('a * int, string) result) -> string -> 'a
+(** Runs the reader over the whole string; raises [Invalid_argument] on
+    malformed or trailing input (a bad snapshot is a bug, not recoverable). *)
+
+val write_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+
+val read_list :
+  (string -> pos:int -> ('a * int, string) result) ->
+  string ->
+  pos:int ->
+  ('a list * int, string) result
+
+val sorted_bindings : (string, 'v) Hashtbl.t -> (string * 'v) list
+
+val write_pair_ss : Buffer.t -> string * string -> unit
+
+val read_pair_ss : string -> pos:int -> ((string * string) * int, string) result
+
+val write_pair_si : Buffer.t -> string * int -> unit
+
+val read_pair_si : string -> pos:int -> ((string * int) * int, string) result
+
+val table_snapshot :
+  (Buffer.t -> string * 'v -> unit) -> (string, 'v) Hashtbl.t -> string
+
+val table_restore :
+  app:string ->
+  (string -> pos:int -> ((string * 'v) * int, string) result) ->
+  size:int ->
+  string ->
+  (string, 'v) Hashtbl.t

@@ -61,6 +61,7 @@ let sample_msgs =
     Types.ClientReq cmd;
     Types.ClientResp { client = 1001; seq = 17; result = "" };
     Types.Redirect { leader_hint = 0 };
+    Types.ClientRead { client = 1001; seq = 18; op = "GET key" };
   ]
 
 let test_roundtrip_all_constructors () =
@@ -94,6 +95,20 @@ let test_decode_rejects_truncation () =
       (* A prefix that happens to decode must at least not equal the original. *)
       Alcotest.(check bool) "prefix differs" false (m = List.nth sample_msgs 1)
   done
+
+let test_scratch_encode_matches () =
+  (* A single scratch buffer reused across the whole corpus (and again in
+     reverse, so stale longer contents must be cleared) produces exactly the
+     allocating encoder's bytes. *)
+  let scratch = Codec.create_scratch ~size:8 () in
+  let check msg =
+    Alcotest.(check string)
+      (Format.asprintf "%a" Types.pp_msg msg)
+      (Codec.encode msg)
+      (Codec.encode_with scratch msg)
+  in
+  List.iter check sample_msgs;
+  List.iter check (List.rev sample_msgs)
 
 let test_varint_edges () =
   let roundtrip_int n =
@@ -162,6 +177,8 @@ let suite =
     Alcotest.test_case "decode rejects junk" `Quick test_decode_rejects_junk;
     Alcotest.test_case "decode rejects trailing bytes" `Quick test_decode_rejects_trailing;
     Alcotest.test_case "decode rejects truncation" `Quick test_decode_rejects_truncation;
+    Alcotest.test_case "scratch encode matches allocating encode" `Quick
+      test_scratch_encode_matches;
     Alcotest.test_case "varint edges" `Quick test_varint_edges;
     Alcotest.test_case "size model sane" `Quick test_size_model_sane;
   ]

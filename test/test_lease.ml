@@ -53,6 +53,13 @@ let test_lease_reads_served_locally () =
   | Ok true -> ()
   | Ok false -> Alcotest.fail "history not linearizable"
   | Error e -> Alcotest.fail e);
+  (* The lease lifecycle and every served read appear in the event trace. *)
+  let records = Inspect.trace_dump cluster in
+  let has p = List.exists (fun (r : Cp_obs.Trace.record) -> p r.Cp_obs.Trace.ev) records in
+  Alcotest.(check bool) "lease acquisition traced" true
+    (has (function Cp_obs.Event.Lease_acquired _ -> true | _ -> false));
+  Alcotest.(check bool) "served reads traced" true
+    (has (function Cp_obs.Event.Lease_read_served _ -> true | _ -> false));
   match Inspect.check_safety cluster with Ok () -> () | Error e -> Alcotest.fail e
 
 let test_lease_reads_linearizable_with_concurrent_writers () =
@@ -170,6 +177,77 @@ let test_lease_collapses_when_main_down () =
   | Error e -> Alcotest.fail e);
   match Inspect.check_safety cluster with Ok () -> () | Error e -> Alcotest.fail e
 
+let test_mutating_op_on_read_path_is_ordered () =
+  (* A client that (wrongly) classifies everything as a read: PUTs arrive on
+     the read path, the leader must refuse to apply them off-log (metric
+     [lease_rejects]) and route them through consensus exactly once. *)
+  let cluster = kv_cluster ~seed:57 () in
+  let rng = Rng.create 17 in
+  let _, client =
+    Cluster.add_client cluster
+      ~is_read:(fun _ -> true)
+      ~ops:(mixed_ops rng ~keys:4 ~count:200 ~read_ratio:0.5)
+      ()
+  in
+  let ok = Cluster.run_until cluster ~deadline:10. (fun () -> Client.is_finished client) in
+  Alcotest.(check bool) "finished" true ok;
+  Alcotest.(check bool) "mutating ops bounced off the read path" true
+    (sum_replica_metric cluster "lease_rejects" > 0);
+  (match Cp_checker.Linearizability.check_kv (Client.history client) with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "misclassified writes broke linearizability"
+  | Error e -> Alcotest.fail e);
+  match Inspect.check_safety cluster with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_read_your_writes_deferred () =
+  (* A read that could observe the same client's in-flight write must wait
+     for the write's apply point. The stock closed-loop client never overlaps
+     its own ops, so drive the wire directly: PUT seq 1, then the GET seq 2
+     two-tenths of a millisecond later — well inside the PUT's commit round
+     trip on the ideal (1 ms) network. *)
+  let cluster =
+    Cluster.create ~seed:58 ~net:Cp_sim.Netmodel.ideal ~params:lease_params
+      ~policy:Cheap_paxos.Cheap.policy
+      ~initial:(Cheap_paxos.Cheap.initial_config ~f:1)
+      ~app:(module Kv) ()
+  in
+  Alcotest.(check bool) "leader elected" true
+    (Cluster.run_until cluster ~deadline:5. (fun () -> Cluster.leader cluster <> None));
+  (* Let heartbeats establish the lease before probing. *)
+  Cluster.run ~until:(Cluster.now cluster +. 0.2) cluster;
+  let leader = Option.get (Cluster.leader cluster) in
+  let responses = ref [] in
+  Cp_sim.Engine.add_node (Cluster.engine cluster) ~id:2000 (fun ctx ->
+      ignore (ctx.Cp_sim.Engine.set_timer ~tag:"put" 1e-3);
+      ignore (ctx.Cp_sim.Engine.set_timer ~tag:"get" 1.2e-3);
+      {
+        Cp_sim.Engine.on_message =
+          (fun ~src:_ msg ->
+            match msg with
+            | Cp_proto.Types.ClientResp { seq; result; _ } ->
+              responses := (seq, result) :: !responses
+            | _ -> ());
+        on_timer =
+          (fun ~tid:_ ~tag ->
+            let msg =
+              if tag = "put" then
+                Cp_proto.Types.ClientReq { client = 2000; seq = 1; op = Kv.put "rx" "after" }
+              else
+                Cp_proto.Types.ClientRead { client = 2000; seq = 2; op = Kv.get "rx" }
+            in
+            ctx.Cp_sim.Engine.send leader msg);
+      });
+  let ok =
+    Cluster.run_until cluster ~step:1e-3 ~deadline:(Cluster.now cluster +. 2.) (fun () ->
+        List.length !responses >= 2)
+  in
+  Alcotest.(check bool) "both responses arrived" true ok;
+  Alcotest.(check bool) "the read was deferred behind the write" true
+    (sum_replica_metric cluster "lease_reads_deferred" > 0);
+  Alcotest.(check string) "read observed the client's own write" "after"
+    (List.assoc 2 !responses);
+  match Inspect.check_safety cluster with Ok () -> () | Error e -> Alcotest.fail e
+
 let suite =
   [
     Alcotest.test_case "lease reads served locally" `Quick test_lease_reads_served_locally;
@@ -180,4 +258,8 @@ let suite =
     Alcotest.test_case "gate and usurper safety" `Quick test_gate_and_usurper_safety;
     Alcotest.test_case "lease collapses when a main is down" `Quick
       test_lease_collapses_when_main_down;
+    Alcotest.test_case "mutating op on the read path is ordered" `Quick
+      test_mutating_op_on_read_path_is_ordered;
+    Alcotest.test_case "read-your-writes: overlapping read is deferred" `Quick
+      test_read_your_writes_deferred;
   ]

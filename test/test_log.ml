@@ -61,6 +61,62 @@ let test_reset_to () =
   ignore (Log.add_chosen log 100 (entry 100));
   Alcotest.(check int) "continues" 101 (Log.prefix log)
 
+let test_truncate_into_gap_bumps_prefix () =
+  (* Truncating into unchosen territory (e.g. installing a snapshot past a
+     gap) must drag the prefix up to the new base, not leave it pointing at
+     discarded instances. *)
+  let log = Log.create () in
+  List.iter (fun i -> ignore (Log.add_chosen log i (entry i))) [ 0; 1; 5; 6 ];
+  Alcotest.(check int) "prefix stuck at gap" 2 (Log.prefix log);
+  Log.truncate_below log 4;
+  Alcotest.(check int) "base" 4 (Log.base log);
+  Alcotest.(check int) "prefix bumped to base" 4 (Log.prefix log);
+  Alcotest.(check int) "suffix survives" 2 (Log.entry_count log);
+  ignore (Log.add_chosen log 4 (entry 4));
+  Alcotest.(check int) "prefix rejoins suffix" 7 (Log.prefix log)
+
+let test_reset_to_discards_suffix () =
+  (* reset_to across a non-empty suffix (snapshot install while holding
+     entries beyond the snapshot point): everything goes, including entries
+     above the new base — they will be re-fetched or re-chosen. *)
+  let log = Log.create () in
+  List.iter (fun i -> ignore (Log.add_chosen log i (entry i))) [ 0; 1; 7; 8; 9 ];
+  Log.reset_to log 5;
+  Alcotest.(check int) "empty" 0 (Log.entry_count log);
+  Alcotest.(check int) "base" 5 (Log.base log);
+  Alcotest.(check int) "prefix" 5 (Log.prefix log);
+  Alcotest.(check bool) "old suffix forgotten" false (Log.is_chosen log 8);
+  (* Re-choosing an instance the old suffix held is not a conflict. *)
+  Alcotest.(check bool) "re-add above base" true (Log.add_chosen log 7 (entry 70))
+
+let test_range_edges () =
+  let log = Log.create () in
+  List.iter (fun i -> ignore (Log.add_chosen log i (entry i))) [ 0; 1; 2; 3; 6; 7 ];
+  Log.truncate_below log 2;
+  Alcotest.(check (list int)) "lo below base yields survivors only" [ 2; 3 ]
+    (List.map fst (Log.range log ~lo:0 ~hi:5));
+  Alcotest.(check (list int)) "hi past max clips" [ 6; 7 ]
+    (List.map fst (Log.range log ~lo:5 ~hi:max_int));
+  Alcotest.(check (list int)) "empty window" []
+    (List.map fst (Log.range log ~lo:3 ~hi:3));
+  Alcotest.(check (list int)) "inverted window" []
+    (List.map fst (Log.range log ~lo:7 ~hi:2))
+
+(* Property: [range] agrees with a naive filter over random logs/windows. *)
+let prop_range_matches_filter =
+  QCheck.Test.make ~name:"range = filtered bindings" ~count:300
+    QCheck.(
+      triple
+        (list_of_size Gen.(int_range 0 30) (int_range 0 40))
+        (int_range 0 45) (int_range 0 45))
+    (fun (instances, lo, hi) ->
+      let log = Log.create () in
+      List.iter (fun i -> ignore (Log.add_chosen log i (entry i))) instances;
+      let expected =
+        List.sort_uniq compare instances |> List.filter (fun i -> i >= lo && i < hi)
+      in
+      List.map fst (Log.range log ~lo ~hi) = expected)
+
 (* Property: regardless of insertion order, the prefix equals the length of
    the longest contiguous run from 0. *)
 let prop_prefix_correct =
@@ -83,5 +139,9 @@ let suite =
     Alcotest.test_case "truncate and base" `Quick test_truncate_and_base;
     Alcotest.test_case "range and max" `Quick test_range_and_max;
     Alcotest.test_case "reset_to" `Quick test_reset_to;
+    Alcotest.test_case "truncate into gap bumps prefix" `Quick
+      test_truncate_into_gap_bumps_prefix;
+    Alcotest.test_case "reset_to discards suffix" `Quick test_reset_to_discards_suffix;
+    Alcotest.test_case "range edges" `Quick test_range_edges;
   ]
-  @ qsuite [ prop_prefix_correct ]
+  @ qsuite [ prop_prefix_correct; prop_range_matches_filter ]

@@ -56,6 +56,9 @@ let all_events =
     Event.Command_chosen { instance = 11; batch = 2 };
     Event.Command_executed { instance = 11 };
     Event.Msg_recv { src = 0; kind = "p2a" };
+    Event.Lease_acquired { round = 3 };
+    Event.Lease_lost { reason = "stepped_down" };
+    Event.Lease_read_served { client = 1000; seq = 9; upto = 17 };
     Event.Crashed;
     Event.Restarted;
     Event.Debug "free-form \"quoted\" line\nwith newline";
@@ -244,6 +247,31 @@ let test_checker_reconfig_ordering () =
   Alcotest.(check bool) "commit from nowhere flagged" true
     (Result.is_error (Obs.Checker.reconfig_ordering [ committed ]))
 
+let test_checker_no_stale_reads () =
+  let exec node instance at = rec_ at node (Event.Command_executed { instance }) in
+  let read node ~upto at =
+    rec_ at node (Event.Lease_read_served { client = 1000; seq = 1; upto })
+  in
+  (* Leader 0 serves from its executed prefix; follower 1 trails — fine. *)
+  let clean =
+    [ exec 0 0 0.1; exec 0 1 0.2; exec 1 0 0.25; read 0 ~upto:2 0.3; exec 1 1 0.35 ]
+  in
+  Alcotest.(check bool) "trailing followers are fine" true
+    (Obs.Checker.no_stale_reads clean = Ok ());
+  (* Partitioned old leaseholder: node 1 has executed instance 2 (a write the
+     read could have observed) before node 0 answers from prefix 2. *)
+  let stale =
+    [ exec 0 0 0.1; exec 0 1 0.2; exec 1 0 0.25; exec 1 1 0.3; exec 1 2 0.35;
+      read 0 ~upto:2 0.4 ]
+  in
+  Alcotest.(check bool) "read behind another node's execution flagged" true
+    (Result.is_error (Obs.Checker.no_stale_reads stale));
+  (* A later execution elsewhere does not retroactively condemn the read. *)
+  let racy = [ exec 0 0 0.1; read 0 ~upto:1 0.2; exec 1 0 0.25; exec 1 1 0.3 ] in
+  Alcotest.(check bool) "later remote execution is not a violation" true
+    (Obs.Checker.no_stale_reads racy = Ok ());
+  Alcotest.(check bool) "empty trace ok" true (Obs.Checker.no_stale_reads [] = Ok ())
+
 let test_checker_failover_timeline () =
   let engaged = rec_ 0.1 0 (Event.Aux_engaged { instance = 3 }) in
   let removed =
@@ -338,6 +366,7 @@ let suite =
     Alcotest.test_case "checker: ballot ordering" `Quick test_checker_ballot_ordering;
     Alcotest.test_case "checker: reconfig ordering" `Quick
       test_checker_reconfig_ordering;
+    Alcotest.test_case "checker: no stale reads" `Quick test_checker_no_stale_reads;
     Alcotest.test_case "checker: failover timeline" `Quick
       test_checker_failover_timeline;
     Alcotest.test_case "sim integration" `Quick test_sim_trace_integration;

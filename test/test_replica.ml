@@ -132,6 +132,54 @@ let test_partitioned_follower_catches_up () =
     (Cluster.run_until cluster ~deadline:(Cluster.now cluster +. 5.) target);
   assert_safe cluster
 
+let test_candidate_catches_up_past_compaction () =
+  (* Catchup racing compaction: while main 1 is partitioned away, the leader
+     keeps committing through the (engaged) auxiliary and snapshots, so its
+     acceptor floor climbs past node 1's chosen prefix. Reconfiguration is
+     off, so node 1 stays in the configuration and campaigns from the
+     partition. After the heal its P1a carries the higher ballot, and the
+     quorum's promises report [compacted_upto] beyond its own prefix
+     ([c_max_compacted > Log.prefix]) — it must fetch the compacted prefix
+     (snapshot catch-up) before assuming leadership, not lead over a gap. *)
+  let policy =
+    { Cheap_paxos.Cheap.policy with Cp_engine.Policy.name = "cheap-noreconf"; reconfigure = false }
+  in
+  let params = { Cp_engine.Params.default with snapshot_every = 10 } in
+  let cluster =
+    Cluster.create ~seed:31 ~params ~policy
+      ~initial:(Cheap_paxos.Cheap.initial_config ~f:1)
+      ~app:(module Counter) ()
+  in
+  let n = 600 in
+  let client_ops seq = if seq <= n then Some (Counter.inc 1) else None in
+  let _, client = Cluster.add_client cluster ~ops:client_ops () in
+  Faults.schedule cluster
+    [ (0.05, Faults.Partition [ [ 1 ]; [ 0; 2; 1000 ] ]); (0.25, Faults.Heal) ];
+  (* Run past the heal even if the client drains early, then wait for node
+     1's post-heal campaign to hit the compaction race. *)
+  Cluster.run ~until:0.26 cluster;
+  Alcotest.(check bool) "finished" true (finish ~deadline:30. cluster client);
+  let r1 = Cluster.replica cluster 1 in
+  Alcotest.(check bool) "race was exercised" true
+    (Cluster.run_until cluster ~step:1e-3 ~deadline:(Cluster.now cluster +. 5.) (fun () ->
+         Cluster.metric cluster 1 "catchup_before_lead" > 0));
+  Alcotest.(check bool) "node 1 installed the compacted prefix" true
+    (Replica.log_base r1 > 0);
+  let converged () =
+    Replica.executed r1 = Replica.executed (Cluster.replica cluster 0)
+  in
+  Alcotest.(check bool) "replicas converge" true
+    (Cluster.run_until cluster ~deadline:(Cluster.now cluster +. 5.) converged);
+  (* Exactly-once through the whole episode. *)
+  let _, probe =
+    Cluster.add_client cluster ~ops:(fun seq -> if seq = 1 then Some Counter.get else None) ()
+  in
+  Alcotest.(check bool) "probe finished" true (finish ~deadline:40. cluster probe);
+  (match Client.history probe with
+  | [ (_, _, _, v) ] -> Alcotest.(check string) "exactly-once total" (string_of_int n) v
+  | _ -> Alcotest.fail "probe history");
+  assert_safe cluster
+
 (* --- recovery from stable storage ---------------------------------------- *)
 
 let test_crash_recovery_with_disk () =
@@ -359,6 +407,8 @@ let suite =
     Alcotest.test_case "dedup under loss" `Quick test_dedup_under_loss;
     Alcotest.test_case "partitioned follower catches up" `Quick
       test_partitioned_follower_catches_up;
+    Alcotest.test_case "candidate catches up past compaction" `Quick
+      test_candidate_catches_up_past_compaction;
     Alcotest.test_case "crash recovery with disk" `Quick test_crash_recovery_with_disk;
     Alcotest.test_case "removed main rejoins" `Quick test_removed_main_rejoins;
     Alcotest.test_case "wiped spare replaces dead main" `Quick

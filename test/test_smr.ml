@@ -179,6 +179,50 @@ let test_snapshot_roundtrips () =
     [ Fifo.push "1"; Fifo.push "2"; Fifo.pop ]
     [ Fifo.pop; Fifo.len; Fifo.pop ]
 
+(* Snapshots are structural (no Marshal): byte-identical regardless of the
+   hashtable's insertion history, so divergent replicas that reached the same
+   state produce the same snapshot on any OCaml version. *)
+let test_snapshot_insertion_order_independent () =
+  let build (module A : Appi.S) ops =
+    let a = Appi.instantiate (module A) in
+    List.iter (fun op -> ignore (a.Appi.apply op)) ops;
+    a.Appi.snapshot ()
+  in
+  let check name (module A : Appi.S) ops1 ops2 =
+    Alcotest.(check string)
+      (name ^ " snapshots agree")
+      (build (module A) ops1)
+      (build (module A) ops2)
+  in
+  check "kv"
+    (module Kv)
+    [ Kv.put "a" "1"; Kv.put "b" "2"; Kv.put "c" "3" ]
+    (* Same final state via a different history: reversed inserts, an
+       overwrite, and a deleted extra key. *)
+    [ Kv.put "c" "9"; Kv.put "x" "tmp"; Kv.put "b" "2"; Kv.put "a" "1";
+      Kv.put "c" "3"; Kv.del "x" ];
+  check "bank"
+    (module Bank)
+    [ Bank.open_ "a" 10; Bank.open_ "b" 20 ]
+    [ Bank.open_ "b" 20; Bank.open_ "a" 10 ];
+  check "lock"
+    (module Lock)
+    [ Lock.acquire ~owner:"x" "l1"; Lock.acquire ~owner:"y" "l2" ]
+    [ Lock.acquire ~owner:"y" "l2"; Lock.acquire ~owner:"x" "l1" ]
+
+let test_snapshot_rejects_garbage () =
+  List.iter
+    (fun (module A : Appi.S) ->
+      let a = Appi.instantiate (module A) in
+      Alcotest.(check bool)
+        (A.name ^ " rejects junk")
+        true
+        (try
+           a.Appi.restore "\xff\xfe not a snapshot";
+           false
+         with Invalid_argument _ -> true))
+    [ (module Kv); (module Bank); (module Lock); (module Fifo) ]
+
 (* Two instances fed the same ops agree — the determinism SMR requires. *)
 let prop_kv_deterministic =
   QCheck.Test.make ~name:"kv is deterministic" ~count:100
@@ -207,5 +251,8 @@ let suite =
     Alcotest.test_case "lock semantics" `Quick test_lock_semantics;
     Alcotest.test_case "fifo semantics" `Quick test_fifo_semantics;
     Alcotest.test_case "snapshot roundtrips" `Quick test_snapshot_roundtrips;
+    Alcotest.test_case "snapshots are insertion-order independent" `Quick
+      test_snapshot_insertion_order_independent;
+    Alcotest.test_case "restore rejects garbage" `Quick test_snapshot_rejects_garbage;
   ]
   @ qsuite [ prop_bank_conservation; prop_fifo_order; prop_kv_deterministic ]
