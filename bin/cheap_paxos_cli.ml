@@ -69,7 +69,7 @@ let experiments_cmd =
           Stdlib.exit (run_experiments quick (List.map String.lowercase_ascii only) csv))
       $ quick_flag $ only_arg $ csv_arg)
 
-let run_demo seed trace trace_jsonl batch pipeline linger read_ratio lease =
+let run_demo seed trace trace_jsonl batch pipeline linger read_ratio lease gap_threshold =
   let module Cluster = Cp_runtime.Cluster in
   let module Faults = Cp_runtime.Faults in
   let initial = Cheap_paxos.Cheap.initial_config ~f:1 in
@@ -80,6 +80,7 @@ let run_demo seed trace trace_jsonl batch pipeline linger read_ratio lease =
       pipeline_window = pipeline;
       batch_linger = linger;
       enable_leases = lease;
+      gap_threshold;
     }
   in
   let cluster =
@@ -168,10 +169,20 @@ let demo_cmd =
             "Enable leader leases: reads are served from the leader's executed \
              state without a consensus instance while its lease holds.")
   in
+  let gap_threshold =
+    Arg.(
+      value
+      & opt int Cp_engine.Params.default.Cp_engine.Params.gap_threshold
+      & info [ "gap-threshold" ] ~docv:"N"
+          ~doc:
+            "How many instances a replica lets its chosen prefix trail a peer's \
+             announced commit point before actively requesting catch-up.")
+  in
   Cmd.v (Cmd.info "demo" ~doc)
     Term.(
-      const (fun s t j b p l r le -> Stdlib.exit (run_demo s t j b p l r le))
-      $ seed $ trace $ trace_jsonl $ batch $ pipeline $ linger $ read_ratio $ lease)
+      const (fun s t j b p l r le g -> Stdlib.exit (run_demo s t j b p l r le g))
+      $ seed $ trace $ trace_jsonl $ batch $ pipeline $ linger $ read_ratio $ lease
+      $ gap_threshold)
 
 (* ------------------------------------------------------------------ *)
 (* Real multi-process cluster: `node` runs one machine over UDP,      *)
@@ -292,6 +303,33 @@ let get_cmd =
 (* Model checking from the command line                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* Deep check: bounded BFS over the real Core.step (see Cp_mc.Mc_replica).
+   The JSON summary is what CI uploads as its state-count artifact. *)
+let run_mc_deep ~max_states ~json =
+  let module D = Cp_mc.Mc_replica in
+  Printf.printf "deep check: real replica core, message-soup semantics (f=1):\n%!";
+  let spec = D.default_spec in
+  let r = D.check ~max_states ~spec () in
+  Printf.printf "  %d states explored (depth %d): %s\n" r.D.states r.D.max_depth
+    (match r.D.violation with
+    | None ->
+      if r.D.states >= max_states then "no violation within the search budget"
+      else "invariant holds in every reachable state"
+    | Some why -> "VIOLATION: " ^ why);
+  (match json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\"checker\":\"mc_replica\",\"states\":%d,\"max_depth\":%d,\"max_states\":%d,\"n_commands\":%d,\"max_ticks\":%d,\"violation\":%s}\n"
+      r.D.states r.D.max_depth max_states spec.D.n_commands spec.D.max_ticks
+      (match r.D.violation with
+      | None -> "null"
+      | Some why -> Printf.sprintf "%S" why);
+    close_out oc;
+    Printf.printf "wrote %s\n" path);
+  if r.D.violation = None && r.D.states > 0 then 0 else 1
+
 let run_mc f broken =
   let module Mc = Cp_mc.Mc in
   let module M = Cp_mc.Mc_multi in
@@ -330,8 +368,34 @@ let mc_cmd =
      quorum system and the assumed-config shortcut."
   in
   let broken = Arg.(value & flag & info [ "broken" ] ~doc:"Check the broken variants instead.") in
+  let deep =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Check the real replica transition function (Core.step) instead of the \
+             abstract models: bounded breadth-first search under message-soup \
+             semantics. Ignores $(b,--broken) and $(b,--f).")
+  in
+  let deep_states =
+    Arg.(
+      value & opt int 25_000
+      & info [ "deep-states" ] ~docv:"N" ~doc:"Search budget (distinct worlds) for $(b,--deep).")
+  in
+  let deep_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "deep-json" ] ~docv:"FILE"
+          ~doc:"Write the $(b,--deep) result (state count, depth, verdict) to $(docv) as JSON.")
+  in
   Cmd.v (Cmd.info "mc" ~doc)
-    Term.(const (fun f broken -> Stdlib.exit (run_mc f broken)) $ f_arg $ broken)
+    Term.(
+      const (fun f broken deep deep_states deep_json ->
+          Stdlib.exit
+            (if deep then run_mc_deep ~max_states:deep_states ~json:deep_json
+             else run_mc f broken))
+      $ f_arg $ broken $ deep $ deep_states $ deep_json)
 
 let () =
   let doc = "Cheap Paxos (DSN 2004) reproduction" in

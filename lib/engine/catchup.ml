@@ -1,0 +1,81 @@
+(* Catch-up role: closing log gaps. A lagging main requests ranges of chosen
+   entries (or a whole snapshot) from its peers; a serving main answers from
+   its log and its in-memory snapshot mirror. [Commit] application also
+   lives here since commits are how gaps are normally avoided.
+
+   Sans-IO: every handler only mutates {!State.t} and queues effects. *)
+
+open Cp_proto
+open State
+
+let request_catchup t targets =
+  if now t -. t.last_catchup_sent >= t.params.Params.retransmit then begin
+    t.last_catchup_sent <- now t;
+    List.iter
+      (fun m ->
+        if m <> t.self then
+          send t m (Types.CatchupReq { from = t.self; from_instance = Log.prefix t.log }))
+      targets
+  end
+
+(* A peer's announced commit point (a Commit instance or a heartbeat commit
+   floor) running [gap_threshold] ahead of our prefix means ordinary Commit
+   delivery has failed us: fetch the gap explicitly. *)
+let maybe_catchup t ~their_floor =
+  if t.role_ = Main && their_floor > Log.prefix t.log + t.params.Params.gap_threshold then
+    request_catchup t (Configs.latest t.configs).Config.mains
+
+let on_commit t ~instance ~entry =
+  ignore (Learner.learn t instance entry);
+  if instance > Log.prefix t.log + t.params.Params.gap_threshold then
+    maybe_catchup t ~their_floor:instance
+
+let on_catchup_req t ~src ~from_instance =
+  if t.role_ = Main then begin
+    if from_instance < Log.base t.log then begin
+      match t.last_snapshot with
+      | Some (snap : Types.snapshot) ->
+        let entries =
+          Log.range t.log ~lo:snap.next_instance
+            ~hi:(min (Log.prefix t.log) (snap.next_instance + t.params.Params.catchup_batch))
+        in
+        send t src (Types.CatchupResp { entries; snapshot = Some snap })
+      | None -> ()
+    end
+    else begin
+      let hi = min (Log.prefix t.log) (from_instance + t.params.Params.catchup_batch) in
+      let entries = Log.range t.log ~lo:from_instance ~hi in
+      if entries <> [] then send t src (Types.CatchupResp { entries; snapshot = None })
+    end
+  end
+
+(* Note: after a response lands, a blocked candidacy must be re-evaluated
+   (its quorum may have been waiting on the prefix) — that re-check lives in
+   {!Core.dispatch}, which calls [Leader.try_finish_phase1], because the
+   leader module sits above this one in the role stack. *)
+let on_catchup_resp t ~entries ~snapshot =
+  if t.role_ = Main then begin
+    (match snapshot with Some s -> Learner.install_snapshot t s | None -> ());
+    List.iter (fun (i, e) -> ignore (Learner.learn t i e)) entries
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The sans-IO step surface                                            *)
+(* ------------------------------------------------------------------ *)
+
+type input =
+  | Commit of { instance : int; entry : Types.entry }
+  | Catchup_req of { src : int; from_instance : int }
+  | Catchup_resp of { entries : (int * Types.entry) list; snapshot : Types.snapshot option }
+
+let handle t = function
+  | Commit { instance; entry } -> on_commit t ~instance ~entry
+  | Catchup_req { src; from_instance } -> on_catchup_req t ~src ~from_instance
+  | Catchup_resp { entries; snapshot } -> on_catchup_resp t ~entries ~snapshot
+
+(* [step state ~now input] advances the catch-up role and returns the state
+   together with every effect the transition produced, in emission order. *)
+let step t ~now:clock input =
+  t.clock <- clock;
+  handle t input;
+  (t, drain t)

@@ -54,3 +54,5 @@ let export t ~next =
 let import t ~base ~at ~pending = t.timeline <- (at, base) :: pending
 
 let timeline t = t.timeline
+
+let copy t = { alpha_ = t.alpha_; timeline = t.timeline }

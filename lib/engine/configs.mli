@@ -38,3 +38,6 @@ val import :
 
 val timeline : t -> (int * Cp_proto.Config.t) list
 (** [(effective_from, cfg)] pairs, ascending — for tests and display. *)
+
+val copy : t -> t
+(** Independent snapshot of the timeline. *)

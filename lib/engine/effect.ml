@@ -1,0 +1,68 @@
+(* The effect vocabulary of the sans-IO replica core.
+
+   Role modules ({!Acceptor_core}, {!Leader}, {!Learner}, {!Catchup},
+   {!Lease}) never perform IO: every externally visible action — a message
+   send, a stable-storage write, a timer request, a typed observability
+   event — is described by a value of this type and accumulated in the
+   {!State.t} effect queue. A [step] call returns the drained queue and an
+   interpreter (the {!Replica} façade for both the simulator and the UDP
+   runtime, or the {!Cp_mc} deep checker's pure soup interpreter) maps each
+   constructor onto its runtime.
+
+   The payloads are plain data (no closures), so effects can be compared,
+   logged, and replayed — which is what makes the golden-trace equivalence
+   tests and the model checker possible. *)
+
+open Cp_proto
+
+type t =
+  | Send of int * Types.msg  (** enqueue a message to a destination id *)
+  | Persist_acceptor of (Ballot.t * (int * Types.vote) list * int)
+      (** durably replace the acceptor image (promise, votes, floor) *)
+  | Persist_log of int * Types.entry  (** durably append a chosen entry *)
+  | Persist_snapshot of Types.snapshot  (** durably replace the snapshot *)
+  | Drop_log of int  (** drop the durable copy of one log entry *)
+  | Set_timer of string * float  (** arm a named timer after a delay *)
+  | Emit of Cp_obs.Event.t  (** typed observability event *)
+  | Metric of string * int  (** bump a counter by [n] *)
+  | Observe of string * float  (** record a summary observation *)
+  | Span_submitted of { client : int; seq : int; at : float }
+  | Span_chosen of { instance : int; cmds : (int * int) list; at : float }
+  | Span_executed of { instance : int; at : float }
+  | Span_reset  (** leadership changed: open latency spans are void *)
+
+let classify = function
+  | Send _ -> "send"
+  | Persist_acceptor _ -> "persist_acceptor"
+  | Persist_log _ -> "persist_log"
+  | Persist_snapshot _ -> "persist_snapshot"
+  | Drop_log _ -> "drop_log"
+  | Set_timer _ -> "set_timer"
+  | Emit _ -> "emit"
+  | Metric _ -> "metric"
+  | Observe _ -> "observe"
+  | Span_submitted _ -> "span_submitted"
+  | Span_chosen _ -> "span_chosen"
+  | Span_executed _ -> "span_executed"
+  | Span_reset -> "span_reset"
+
+let pp ppf = function
+  | Send (dst, msg) -> Format.fprintf ppf "send(%d,%a)" dst Types.pp_msg msg
+  | Persist_acceptor (_, votes, floor) ->
+    Format.fprintf ppf "persist_acceptor(|votes|=%d,floor=%d)" (List.length votes) floor
+  | Persist_log (i, e) -> Format.fprintf ppf "persist_log(%d,%a)" i Types.pp_entry e
+  | Persist_snapshot s -> Format.fprintf ppf "persist_snapshot(at=%d)" s.Types.next_instance
+  | Drop_log i -> Format.fprintf ppf "drop_log(%d)" i
+  | Set_timer (tag, d) -> Format.fprintf ppf "set_timer(%s,%.4f)" tag d
+  | Emit ev -> Format.fprintf ppf "emit(%a)" Cp_obs.Event.pp ev
+  | Metric (name, by) -> Format.fprintf ppf "metric(%s,+%d)" name by
+  | Observe (name, v) -> Format.fprintf ppf "observe(%s,%g)" name v
+  | Span_submitted { client; seq; _ } -> Format.fprintf ppf "span_submitted(%d.%d)" client seq
+  | Span_chosen { instance; _ } -> Format.fprintf ppf "span_chosen(%d)" instance
+  | Span_executed { instance; _ } -> Format.fprintf ppf "span_executed(%d)" instance
+  | Span_reset -> Format.fprintf ppf "span_reset"
+
+(** Sends only, in emission order — what a network-level interpreter (the
+    model checker's message soup) consumes. *)
+let sends effects =
+  List.filter_map (function Send (dst, msg) -> Some (dst, msg) | _ -> None) effects

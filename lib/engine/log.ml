@@ -64,3 +64,5 @@ let reset_to t n =
   t.entries <- IMap.empty;
   t.prefix <- n;
   t.base <- n
+
+let copy t = { entries = t.entries; prefix = t.prefix; base = t.base }

@@ -39,3 +39,6 @@ val entry_count : t -> int
 val reset_to : t -> int -> unit
 (** Drop everything and restart with [base = prefix = n] — used when
     installing a snapshot during state transfer. *)
+
+val copy : t -> t
+(** Independent snapshot of the log (entries are shared immutably). *)

@@ -9,6 +9,7 @@ type t = {
   retransmit : float;
   snapshot_every : int;
   catchup_batch : int;
+  gap_threshold : int;
   join_interval : float;
   client_timeout : float;
   enable_leases : bool;
@@ -34,6 +35,7 @@ let default =
     retransmit = 10e-3;
     snapshot_every = 500;
     catchup_batch = 256;
+    gap_threshold = 8;
     join_interval = 20e-3;
     client_timeout = 50e-3;
     enable_leases = false;

@@ -17,6 +17,12 @@ type t = {
   retransmit : float;  (** retransmission period for unacked proposals *)
   snapshot_every : int;  (** instances between application snapshots *)
   catchup_batch : int;  (** max log entries per catch-up response *)
+  gap_threshold : int;
+      (** how many instances a replica lets its chosen prefix trail a peer's
+          announced commit point (a [Commit] instance or a heartbeat's
+          commit floor) before actively requesting catch-up. Small values
+          close gaps quickly at the cost of extra [CatchupReq] traffic;
+          large values lean on ordinary [Commit] delivery. Default 8. *)
   join_interval : float;  (** period of JoinReq from a machine outside the config *)
   client_timeout : float;  (** client base retry period (backoff doubles it) *)
   enable_leases : bool;

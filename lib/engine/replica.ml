@@ -1,1293 +1,105 @@
+(* The runtime replica: a thin interpreter wrapping the sans-IO {!Core}.
+   All protocol logic lives in the pure role modules ({!Acceptor_core},
+   {!Leader}, {!Learner}, {!Catchup}, {!Lease}) composed by {!Core}; this
+   module is the only place the engine capability record ({!Engine.ctx}) is
+   touched. Every handler invocation is: read the clock, [Core.step], then
+   execute the returned effects against the ctx in emission order — so the
+   observable behaviour (sends, events, metrics, storage writes) is exactly
+   the effect stream of the pure core. *)
+
 open Cp_proto
 module Engine = Cp_sim.Engine
 module Stable = Cp_sim.Stable
 module Metrics = Cp_sim.Metrics
-module Rng = Cp_util.Rng
 module Obs = Cp_obs
 
-type role = Main | Aux
-
-(* ------------------------------------------------------------------ *)
-(* State                                                               *)
-(* ------------------------------------------------------------------ *)
-
-type candidate = {
-  c_ballot : Ballot.t;
-  c_low : int; (* phase 1 asks for votes at instances >= c_low *)
-  c_promises : (int, int) Hashtbl.t; (* responder -> its compaction floor *)
-  c_votes : (int, Types.vote) Hashtbl.t; (* best vote seen per instance *)
-  mutable c_started : float;
-  mutable c_last_send : float;
-  mutable c_max_compacted : int;
-  mutable c_widened : bool; (* phase 1 extended to the auxiliaries *)
-}
-
-type pending = {
-  p_entry : Types.entry;
-  mutable p_acks : int list;
-  mutable p_widened : bool;
-  p_started : float;
-  mutable p_last_send : float;
-}
-
-type lead = {
-  l_ballot : Ballot.t;
-  l_pending : (int, pending) Hashtbl.t;
-  mutable l_next : int;
-  l_queue : Types.command Queue.t;
-  mutable l_queue_since : float;
-      (* when the oldest currently-queued command arrived ([infinity] while
-         the queue is empty); the batch-linger clock *)
-  l_inflight_cmds : (int * int, unit) Hashtbl.t; (* (client, seq) proposed, unexecuted *)
-  l_backlog : (int, Types.entry) Hashtbl.t;
-      (* phase-1 recovered votes not yet re-proposed: they must wait for the
-         α-window so that every proposal's configuration is determined *)
-  mutable l_recover_hi : int; (* instances < this need recovery re-proposal *)
-  mutable l_pumping : bool; (* re-entrancy guard for [pump] *)
-  mutable l_reconfig_inflight : bool;
-  mutable l_last_hb : float;
-  l_acks : (int, float * int) Hashtbl.t; (* main -> (last ack time, its prefix) *)
-  l_echo : (int, float) Hashtbl.t;
-      (* main -> latest heartbeat send-time it has echoed; the basis of the
-         read lease (send times, never receipt times) *)
-  mutable l_lease_held : bool;
-      (* last reported lease_valid edge; drives Lease_acquired/Lease_lost *)
-  l_reads : Types.command Queue.t;
-      (* read-only commands fenced behind the apply point of writes they
-         could observe; re-checked and drained by the tick *)
-  l_suspected : (int, unit) Hashtbl.t;
-      (* mains currently failing the leader's failure detector; while any
-         main is suspected, new proposals are widened to the auxiliaries
-         immediately rather than after [widen_timeout] *)
-  mutable l_aux_floor_sent : int;
-  mutable l_aux_high : int;
-      (* one past the highest instance ever pushed to an auxiliary; the
-         engagement is over once the announced floor passes it *)
-  mutable l_engaged : bool; (* auxiliaries hold uncompacted votes *)
-  l_promised : (int, unit) Hashtbl.t;
-      (* acceptors whose phase-1 promise this leadership holds. A leader may
-         only propose at an instance whose configuration these responders
-         cover: its phase-1 quorum (taken under the configs it knew as a
-         candidate) need not intersect the quorums of a configuration it
-         discovers later, so proposing there could overwrite chosen values. *)
-  mutable l_abdicate : bool;
-      (* set when an executed reconfiguration yields a config [l_promised]
-         does not cover: stop proposing and re-campaign at the next tick, so
-         phase 1 is redone with the new config in scope *)
-  l_since : float;
-}
-
-type rstate =
-  | Follower
-  | Candidate of candidate
-  | Leader of lead
+type role = State.role = Main | Aux
 
 type t = {
+  core : State.t;
   ctx : Types.msg Engine.ctx;
-  role_ : role;
-  policy : Policy.t;
-  params : Params.t;
-  universe_mains : int list;
-  universe_auxes : int list;
-  target_mains : int;
-      (* size of the initial main set: machines outside the configuration
-         volunteer (JoinReq) only while the config is below this strength,
-         so spares stand by until a failure actually degrades the system *)
-  app : Appi.instance;
-  mutable acceptor : Acceptor.t;
-  log : Log.t;
-  configs : Configs.t;
-  mutable executed_ : int;
-  sessions : (int, Session.t) Hashtbl.t;
-  mutable state : rstate;
-  pre_queue : Types.command Queue.t;
-      (* client requests received while campaigning; drained into the leader
-         queue on victory, discarded on defeat (clients retry) *)
-  mutable max_seen : Ballot.t;
-  mutable leader_hint_ : int;
-  mutable last_leader_contact : float;
-  mutable election_fuzz : float;
-  mutable last_join_sent : float;
-  mutable last_catchup_sent : float;
-  mutable lease_gate_until : float;
-      (* while [now < lease_gate_until] a main refuses phase-1 promises:
-         some leader may be serving lease reads on our silence. Advanced on
-         every leader contact and on recovery; 0 on a fresh boot. *)
   spans : Obs.Span.t; (* leader-side submit→chosen→executed latency spans *)
 }
 
 (* ------------------------------------------------------------------ *)
-(* Small helpers                                                       *)
+(* The effect interpreter                                              *)
 (* ------------------------------------------------------------------ *)
-
-let now t = t.ctx.Engine.now ()
-
-let send t dst msg = t.ctx.Engine.send dst msg
-
-let event t ev = t.ctx.Engine.emit ev
-
-let tracef t fmt = Format.kasprintf (fun s -> event t (Obs.Event.Debug s)) fmt
-
-let obs_change = function
-  | Types.Remove_main m -> Obs.Event.Remove_main m
-  | Types.Add_main m -> Obs.Event.Add_main m
-
-let metric t ?by name = Metrics.incr t.ctx.Engine.metrics ?by name
-
-let observe t name v = Metrics.observe t.ctx.Engine.metrics name v
-
-let is_leader t = match t.state with Leader _ -> true | Follower | Candidate _ -> false
-
-let draw_fuzz t = t.election_fuzz <- Rng.float t.ctx.Engine.rng t.params.election_fuzz
-
-(* ------------------------------------------------------------------ *)
-(* Persistence                                                         *)
-(* ------------------------------------------------------------------ *)
-
-let persist_acceptor t =
-  Stable.put t.ctx.Engine.stable "acceptor" (Acceptor.export t.acceptor)
 
 let log_key i = "log." ^ string_of_int i
 
-let persist_log_entry t i entry = Stable.put t.ctx.Engine.stable (log_key i) entry
+let interpret_one t (eff : Effect.t) =
+  match eff with
+  | Effect.Send (dst, msg) -> t.ctx.Engine.send dst msg
+  | Effect.Persist_acceptor image -> Stable.put t.ctx.Engine.stable "acceptor" image
+  | Effect.Persist_log (i, entry) -> Stable.put t.ctx.Engine.stable (log_key i) entry
+  | Effect.Persist_snapshot snap -> Stable.put t.ctx.Engine.stable "snapshot" snap
+  | Effect.Drop_log i -> Stable.remove t.ctx.Engine.stable (log_key i)
+  | Effect.Set_timer (tag, delay) -> ignore (t.ctx.Engine.set_timer ~tag delay)
+  | Effect.Emit ev -> t.ctx.Engine.emit ev
+  | Effect.Metric (name, by) -> Metrics.incr t.ctx.Engine.metrics ~by name
+  | Effect.Observe (name, v) -> Metrics.observe t.ctx.Engine.metrics name v
+  | Effect.Span_submitted { client; seq; at } -> Obs.Span.submitted t.spans ~client ~seq ~at
+  | Effect.Span_chosen { instance; cmds; at } -> Obs.Span.chosen t.spans ~instance ~cmds ~at
+  | Effect.Span_executed { instance; at } -> Obs.Span.executed t.spans ~instance ~at
+  | Effect.Span_reset -> Obs.Span.reset t.spans
 
-let make_snapshot t : Types.snapshot =
-  let next = t.executed_ in
-  let base_config, pending_configs = Configs.export t.configs ~next in
-  {
-    next_instance = next;
-    app_state = t.app.Appi.snapshot ();
-    sessions =
-      Hashtbl.fold
-        (fun c sess acc ->
-          let img = Session.export sess in
-          (c, (img.Session.floor, img.Session.replies)) :: acc)
-        t.sessions [];
-    base_config;
-    pending_configs;
-  }
-
-let maybe_snapshot t =
-  if t.role_ = Main && t.executed_ - Log.base t.log >= t.params.snapshot_every then begin
-    let snap = make_snapshot t in
-    Stable.put t.ctx.Engine.stable "snapshot" snap;
-    for i = Log.base t.log to t.executed_ - 1 do
-      Stable.remove t.ctx.Engine.stable (log_key i)
-    done;
-    Log.truncate_below t.log t.executed_;
-    (* A main may compact its own votes below its chosen prefix: the log and
-       snapshot durably cover those instances. *)
-    t.acceptor <- Acceptor.compact t.acceptor ~upto:(Log.prefix t.log);
-    persist_acceptor t;
-    metric t "snapshots"
-  end
+let interpret t effects = List.iter (interpret_one t) effects
 
 (* ------------------------------------------------------------------ *)
-(* Execution                                                           *)
+(* Construction: read the recovery image, build the core               *)
 (* ------------------------------------------------------------------ *)
 
-let session_for t client =
-  match Hashtbl.find_opt t.sessions client with
-  | Some s -> s
-  | None ->
-    let s = Session.create () in
-    Hashtbl.add t.sessions client s;
-    s
+(* Every persisted chosen entry, in no particular order; the core filters
+   and sorts against its post-snapshot log base. *)
+let scan_log stable =
+  let prefix = "log." in
+  Stable.keys stable
+  |> List.filter_map (fun k ->
+         if
+           String.length k > String.length prefix
+           && String.sub k 0 (String.length prefix) = prefix
+         then
+           match
+             int_of_string_opt
+               (String.sub k (String.length prefix) (String.length k - String.length prefix))
+           with
+           | Some i -> Stable.get stable k |> Option.map (fun (e : Types.entry) -> (i, e))
+           | None -> None
+         else None)
 
-let exec_app t (cmd : Types.command) =
-  let sess = session_for t cmd.client in
-  let reply =
-    match Session.status sess cmd.seq with
-    | `New ->
-      let result = t.app.Appi.apply cmd.op in
-      Session.record sess ~window:t.params.Params.session_window cmd.seq result;
-      metric t "applied";
-      Some result
-    | `Cached result -> Some result
-    | `Evicted -> None (* ancient duplicate; the reply is gone *)
-  in
-  match t.state with
-  | Leader lead ->
-    Hashtbl.remove lead.l_inflight_cmds (cmd.client, cmd.seq);
-    (match reply with
-    | Some result ->
-      send t cmd.client (Types.ClientResp { client = cmd.client; seq = cmd.seq; result })
-    | None -> ())
-  | Follower | Candidate _ -> ()
-
-let exec_reconfig t r =
-  match Configs.apply_at t.configs ~at:t.executed_ r with
-  | None -> metric t "reconfig_rejected"
-  | Some cfg ->
-    tracef t "reconfig at %d -> %a" t.executed_ Config.pp cfg;
-    metric t
-      (match r with
-      | Types.Remove_main _ -> "reconfig_remove"
-      | Types.Add_main _ -> "reconfig_add");
-    observe t "reconfig_at" (now t);
-    event t (Obs.Event.Reconfig_committed { change = obs_change r; at = t.executed_ });
-    (match t.state with
-    | Leader lead ->
-      lead.l_reconfig_inflight <- false;
-      (* Safety: we may only propose at instances governed by [cfg] if our
-         phase-1 responders cover it; otherwise re-campaign so phase 1 is
-         redone over the union of configurations. *)
-      let responders = Hashtbl.fold (fun id () acc -> id :: acc) lead.l_promised [] in
-      if not (Config.is_quorum cfg responders) then begin
-        lead.l_abdicate <- true;
-        metric t "abdications";
-        tracef t "abdicating: phase-1 coverage lost for %a" Config.pp cfg
-      end
-    | Follower | Candidate _ -> ())
-
-let execute_ready t =
-  if t.role_ = Main then begin
-    while t.executed_ < Log.prefix t.log do
-      (match Log.get t.log t.executed_ with
-      | None -> assert false
-      | Some Types.Noop -> ()
-      | Some (Types.App cmd) -> exec_app t cmd
-      | Some (Types.Batch cmds) -> List.iter (exec_app t) cmds
-      | Some (Types.Reconfig r) -> exec_reconfig t r);
-      event t (Obs.Event.Command_executed { instance = t.executed_ });
-      Obs.Span.executed t.spans ~instance:t.executed_ ~at:(now t);
-      t.executed_ <- t.executed_ + 1
-    done;
-    maybe_snapshot t
-  end
-
-(* Record an entry as chosen; returns true if it was news. *)
-let learn t i entry =
-  if t.role_ <> Main then false
-  else begin
-    let fresh = Log.add_chosen t.log i entry in
-    if fresh then begin
-      persist_log_entry t i entry;
-      metric t "learned";
-      execute_ready t
-    end;
-    fresh
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Leader: choosing, floors, pumping                                   *)
-(* ------------------------------------------------------------------ *)
-
-let active_auxes_for t i = Config.active_auxes (Configs.config_for t.configs i)
-
-(* Mark the leadership aux-engaged through [instance], emitting the
-   engagement event only on the idle→engaged flip. *)
-let engage t lead ~instance =
-  if not lead.l_engaged then begin
-    lead.l_engaged <- true;
-    event t (Obs.Event.Aux_engaged { instance })
-  end;
-  lead.l_aux_high <- max lead.l_aux_high (instance + 1)
-
-(* The floor the leader may announce to auxiliaries: the minimum chosen
-   prefix across the mains of the latest config (so every compacted instance
-   is durably logged by every main). *)
-let mains_floor t lead =
-  let cfg = Configs.latest t.configs in
-  List.fold_left
-    (fun acc m ->
-      if m = t.ctx.Engine.self then min acc (Log.prefix t.log)
-      else
-        match Hashtbl.find_opt lead.l_acks m with
-        | Some (_, p) -> min acc p
-        | None -> 0)
-    max_int cfg.Config.mains
-
-let update_aux_floor t lead =
-  if lead.l_engaged then begin
-    let floor = mains_floor t lead in
-    if floor > lead.l_aux_floor_sent then begin
-      lead.l_aux_floor_sent <- floor;
-      (* All auxiliary machines, not just the currently active ones: the
-         reconfiguration that ends an engagement typically deactivates the
-         very auxiliary that still holds the votes. *)
-      List.iter (fun a -> send t a (Types.CommitFloor { upto = floor })) t.universe_auxes;
-      (* The engagement ends only when the auxiliaries can have compacted
-         every vote they might hold; until then keep pushing floors. *)
-      if floor >= lead.l_aux_high then begin
-        lead.l_engaged <- false;
-        event t (Obs.Event.Aux_quiesced { floor })
-      end
-    end
-  end
-
-let phase2_targets t cfg ~widened =
-  let base =
-    if t.policy.Policy.narrow_phase2 && not widened then cfg.Config.mains
-    else Config.acceptors cfg
-  in
-  List.filter (fun id -> id <> t.ctx.Engine.self) base
-
-let self_accept t ballot instance entry =
-  let cfg = Configs.config_for t.configs instance in
-  if Config.is_acceptor cfg t.ctx.Engine.self then begin
-    let acc, res = Acceptor.handle_p2a t.acceptor ~ballot ~instance ~entry in
-    t.acceptor <- acc;
-    persist_acceptor t;
-    match res with Acceptor.Accepted -> true | Acceptor.P2_nack _ | Acceptor.Stale -> false
-  end
-  else false
-
-let rec check_chosen t lead i =
-  match Hashtbl.find_opt lead.l_pending i with
-  | None -> ()
-  | Some p ->
-    let cfg = Configs.config_for t.configs i in
-    if Config.is_quorum cfg p.p_acks then begin
-      Hashtbl.remove lead.l_pending i;
-      observe t "commit_latency" (now t -. p.p_started);
-      metric t "chosen";
-      let auxes = active_auxes_for t i in
-      if List.exists (fun a -> List.mem a p.p_acks) auxes then engage t lead ~instance:i;
-      let cmd_keys =
-        match p.p_entry with
-        | Types.App c -> [ (c.Types.client, c.Types.seq) ]
-        | Types.Batch cs -> List.map (fun c -> (c.Types.client, c.Types.seq)) cs
-        | Types.Noop | Types.Reconfig _ -> []
-      in
-      event t (Obs.Event.Command_chosen { instance = i; batch = List.length cmd_keys });
-      Obs.Span.chosen t.spans ~instance:i ~cmds:cmd_keys ~at:(now t);
-      ignore (learn t i p.p_entry);
-      List.iter
-        (fun m -> if m <> t.ctx.Engine.self then send t m (Types.Commit { instance = i; entry = p.p_entry }))
-        t.universe_mains;
-      update_aux_floor t lead;
-      (* The prefix may have advanced: slide the proposal window. *)
-      pump t lead
-    end
-
-and propose_at t lead i entry =
-  let cfg = Configs.config_for t.configs i in
-  let acks = if self_accept t lead.l_ballot i entry then [ t.ctx.Engine.self ] else [] in
-  (* If the failure detector already suspects a main, don't wait out the
-     widen timeout on every proposal: engage the auxiliaries from the start. *)
-  let widened =
-    t.policy.Policy.widen_on_timeout && Hashtbl.length lead.l_suspected > 0
-  in
-  let p =
+let create ctx ~role ~policy ~params ~initial ~universe_mains ~universe_auxes ~app =
+  let stable = ctx.Engine.stable in
+  let recovery =
     {
-      p_entry = entry;
-      p_acks = acks;
-      p_widened = widened;
-      p_started = now t;
-      p_last_send = now t;
+      State.r_acceptor = Stable.get stable "acceptor";
+      r_snapshot = (if role = Main then Stable.get stable "snapshot" else None);
+      r_log = (if role = Main then scan_log stable else []);
+      r_had_state = Stable.mem stable "acceptor";
     }
   in
-  if widened then engage t lead ~instance:i;
-  Hashtbl.replace lead.l_pending i p;
-  metric t "proposed";
-  (match entry with
-  | Types.Reconfig r -> event t (Obs.Event.Reconfig_proposed (obs_change r))
-  | Types.Noop | Types.App _ | Types.Batch _ -> ());
-  List.iter
-    (fun dst -> send t dst (Types.P2a { ballot = lead.l_ballot; instance = i; entry }))
-    (phase2_targets t cfg ~widened);
-  check_chosen t lead i
-
-(* Advance the proposal front: first re-propose phase-1 recovered entries
-   (Noop for gaps), then client commands — always strictly inside the
-   α-window, so the configuration of every proposed instance is already
-   fixed by the executed prefix. Re-entrant calls (a proposal choosing
-   instantly and re-triggering) are flattened by the guard. *)
-and pump t lead =
-  if (not lead.l_pumping) && not lead.l_abdicate then begin
-    lead.l_pumping <- true;
-    let progress = ref true in
-    while !progress do
-      progress := false;
-      let window_end = Log.prefix t.log + Configs.alpha t.configs in
-      if lead.l_next < window_end then begin
-        if lead.l_next < lead.l_recover_hi then begin
-          let i = lead.l_next in
-          lead.l_next <- i + 1;
-          if not (Log.is_chosen t.log i) then begin
-            let entry =
-              Option.value ~default:Types.Noop (Hashtbl.find_opt lead.l_backlog i)
-            in
-            propose_at t lead i entry
-          end;
-          progress := true
-        end
-        else if Hashtbl.length lead.l_pending < t.params.Params.pipeline_window then begin
-          (* Drain fresh commands into one instance, bounded by both the
-             command count and the byte budget (the first command always
-             fits, so an oversized command ships alone). *)
-          let max_cmds = max 1 t.params.Params.batch_max_cmds in
-          let max_bytes = t.params.Params.batch_max_bytes in
-          let fresh cmd =
-            match Hashtbl.find_opt t.sessions cmd.Types.client with
-            | Some sess -> Session.status sess cmd.Types.seq = `New
-            | None -> true
-          in
-          let rec take n bytes acc =
-            if n = 0 || bytes >= max_bytes then List.rev acc
-            else
-              match Queue.take_opt lead.l_queue with
-              | None -> List.rev acc
-              | Some cmd ->
-                if fresh cmd then begin
-                  Hashtbl.replace lead.l_inflight_cmds (cmd.Types.client, cmd.Types.seq) ();
-                  take (n - 1) (bytes + Types.command_size cmd) (cmd :: acc)
-                end
-                else begin
-                  progress := true;
-                  take n bytes acc
-                end
-          in
-          (* Linger: a sub-maximal batch may be held open briefly so more
-             commands can join; the periodic tick re-runs [pump], so a
-             lingering batch flushes within [batch_linger + tick]. *)
-          let flush_now =
-            t.params.Params.batch_linger <= 0.
-            || Queue.length lead.l_queue >= max_cmds
-            || now t -. lead.l_queue_since >= t.params.Params.batch_linger
-          in
-          if flush_now then begin
-            let cmds = take max_cmds 0 [] in
-            if Queue.is_empty lead.l_queue then lead.l_queue_since <- infinity
-            else lead.l_queue_since <- now t;
-            match cmds with
-            | [] -> ()
-            | [ cmd ] ->
-              let i = lead.l_next in
-              lead.l_next <- i + 1;
-              propose_at t lead i (Types.App cmd);
-              progress := true
-            | cmds ->
-              let i = lead.l_next in
-              lead.l_next <- i + 1;
-              observe t "batch_size" (float_of_int (List.length cmds));
-              propose_at t lead i (Types.Batch cmds);
-              progress := true
-          end
-        end
-      end
-    done;
-    lead.l_pumping <- false
-  end
-
-(* Propose a protocol-generated entry (reconfig) at the next free slot, if
-   the window allows; returns whether it was proposed. *)
-let propose_entry t lead entry =
-  if (not lead.l_abdicate) && lead.l_next < Log.prefix t.log + Configs.alpha t.configs
-  then begin
-    let i = lead.l_next in
-    lead.l_next <- i + 1;
-    propose_at t lead i entry;
-    true
-  end
-  else false
-
-(* ------------------------------------------------------------------ *)
-(* Elections                                                           *)
-(* ------------------------------------------------------------------ *)
-
-let send_p1a t (c : candidate) =
-  c.c_last_send <- now t;
-  let cfgs = Configs.covering t.configs ~low:c.c_low in
-  (* Like phase 2, phase 1 first targets the mains only (a majority); the
-     auxiliaries are brought in when the narrow attempt times out. *)
-  let pick cfg =
-    if t.policy.Policy.narrow_phase2 && not c.c_widened then cfg.Config.mains
-    else Config.acceptors cfg
+  let core, effects =
+    Core.create ~self:ctx.Engine.self ~now:(ctx.Engine.now ()) ~rng:ctx.Engine.rng ~role
+      ~policy ~params ~initial ~universe_mains ~universe_auxes ~app ~recovery
   in
-  let targets =
-    List.concat_map pick cfgs
-    |> List.sort_uniq compare
-    |> List.filter (fun id -> id <> t.ctx.Engine.self)
-  in
-  List.iter (fun dst -> send t dst (Types.P1a { ballot = c.c_ballot; low = c.c_low })) targets
-
-let merge_vote (c : candidate) i (v : Types.vote) =
-  match Hashtbl.find_opt c.c_votes i with
-  | Some best when Ballot.(v.Types.vballot <= best.Types.vballot) -> ()
-  | Some _ | None -> Hashtbl.replace c.c_votes i v
-
-let become_candidate t =
-  let ballot = Ballot.succ_for t.max_seen ~leader:t.ctx.Engine.self in
-  t.max_seen <- ballot;
-  let c =
-    {
-      c_ballot = ballot;
-      c_low = Log.prefix t.log;
-      c_promises = Hashtbl.create 8;
-      c_votes = Hashtbl.create 16;
-      c_started = now t;
-      c_last_send = now t;
-      c_max_compacted = 0;
-      c_widened = false;
-    }
-  in
-  t.state <- Candidate c;
-  metric t "elections_started";
-  event t
-    (Obs.Event.Ballot_started
-       { round = ballot.Ballot.round; leader = ballot.Ballot.leader; low = c.c_low });
-  tracef t "candidate %a low=%d" Ballot.pp ballot c.c_low;
-  (* Self-promise. *)
-  let acc, res = Acceptor.handle_p1a t.acceptor ~ballot ~low:c.c_low in
-  t.acceptor <- acc;
-  persist_acceptor t;
-  (match res with
-  | Acceptor.Promise (votes, floor) ->
-    Hashtbl.replace c.c_promises t.ctx.Engine.self floor;
-    c.c_max_compacted <- max c.c_max_compacted floor;
-    List.iter (fun (i, v) -> merge_vote c i v) votes
-  | Acceptor.P1_nack _ -> ());
-  send_p1a t c
-
-let send_heartbeats t lead =
-  lead.l_last_hb <- now t;
-  List.iter
-    (fun m ->
-      if m <> t.ctx.Engine.self then
-        send t m
-          (Types.Heartbeat
-             { ballot = lead.l_ballot; commit_floor = Log.prefix t.log; sent_at = now t }))
-    t.universe_mains
-
-let become_leader t (c : candidate) =
-  let start = Log.prefix t.log in
-  let max_vote = Hashtbl.fold (fun i _ acc -> max acc (i + 1)) c.c_votes 0 in
-  let stop = max (max start max_vote) (Log.max_chosen t.log) in
-  let lead =
-    {
-      l_ballot = c.c_ballot;
-      l_pending = Hashtbl.create 32;
-      l_next = start;
-      l_queue = Queue.create ();
-      l_queue_since = infinity;
-      l_inflight_cmds = Hashtbl.create 32;
-      l_backlog = Hashtbl.create 32;
-      l_recover_hi = stop;
-      l_pumping = false;
-      l_reconfig_inflight = false;
-      l_last_hb = now t;
-      l_acks = Hashtbl.create 8;
-      l_echo = Hashtbl.create 8;
-      l_lease_held = false;
-      l_reads = Queue.create ();
-      l_suspected = Hashtbl.create 4;
-      l_aux_floor_sent = 0;
-      (* If phase 1 reached the auxiliaries they may hold votes up to any
-         recovered instance (possibly left by the previous leader's
-         engagement): keep pushing commit floors until past [stop]. *)
-      l_aux_high = (if c.c_widened then stop else 0);
-      l_engaged = c.c_widened;
-      l_promised = Hashtbl.copy c.c_promises |> (fun h ->
-        let out = Hashtbl.create (Hashtbl.length h) in
-        Hashtbl.iter (fun id _ -> Hashtbl.replace out id ()) h;
-        out);
-      l_abdicate = false;
-      l_since = now t;
-    }
-  in
-  Hashtbl.iter
-    (fun i (v : Types.vote) -> if i >= start then Hashtbl.replace lead.l_backlog i v.Types.ventry)
-    c.c_votes;
-  Queue.transfer t.pre_queue lead.l_queue;
-  if not (Queue.is_empty lead.l_queue) then lead.l_queue_since <- now t;
-  t.state <- Leader lead;
-  if t.leader_hint_ <> t.ctx.Engine.self then begin
-    t.leader_hint_ <- t.ctx.Engine.self;
-    event t (Obs.Event.Leader_changed { leader = t.ctx.Engine.self })
-  end;
-  metric t "elections_won";
-  Obs.Span.reset t.spans;
-  event t
-    (Obs.Event.Ballot_won { round = c.c_ballot.Ballot.round; leader = c.c_ballot.Ballot.leader });
-  if c.c_widened then event t (Obs.Event.Aux_engaged { instance = max 0 (stop - 1) });
-  (* Requests held in [pre_queue] during the campaign were never recorded as
-     submitted; stamp them now so their latency spans start at acceptance. *)
-  Queue.iter
-    (fun (cmd : Types.command) ->
-      event t (Obs.Event.Command_submitted { client = cmd.Types.client; seq = cmd.Types.seq });
-      Obs.Span.submitted t.spans ~client:cmd.Types.client ~seq:cmd.Types.seq ~at:(now t))
-    lead.l_queue;
-  tracef t "leader %a" Ballot.pp c.c_ballot;
-  (* Re-propose recovered votes (gaps become Noop) — via [pump], which
-     respects the α-window; anything beyond it drains as the prefix moves. *)
-  pump t lead;
-  send_heartbeats t lead
-
-let request_catchup t targets =
-  if now t -. t.last_catchup_sent >= t.params.retransmit then begin
-    t.last_catchup_sent <- now t;
-    List.iter
-      (fun m ->
-        if m <> t.ctx.Engine.self then
-          send t m
-            (Types.CatchupReq { from = t.ctx.Engine.self; from_instance = Log.prefix t.log }))
-      targets
-  end
-
-let try_finish_phase1 t (c : candidate) =
-  let responders = Hashtbl.fold (fun id _ acc -> id :: acc) c.c_promises [] in
-  let cfgs = Configs.covering t.configs ~low:c.c_low in
-  let have_quorums = List.for_all (fun cfg -> Config.is_quorum cfg responders) cfgs in
-  if have_quorums then begin
-    if c.c_max_compacted > Log.prefix t.log then begin
-      (* Some acceptor compacted instances we have not chosen yet; they are
-         durably chosen on the mains — fetch them before leading. *)
-      metric t "catchup_before_lead";
-      request_catchup t (Configs.latest t.configs).Config.mains
-    end
-    else become_leader t c
-  end
-
-let step_down t ballot =
-  if Ballot.(t.max_seen < ballot) then t.max_seen <- ballot;
-  (match t.state with
-  | Leader _ | Candidate _ ->
-    (match t.state with
-    | Leader lead when lead.l_lease_held ->
-      lead.l_lease_held <- false;
-      event t (Obs.Event.Lease_lost { reason = "stepped_down" })
-      (* Deferred reads die with the leadership ([l_reads] is unreachable
-         once the state changes); clients time out and retry elsewhere. *)
-    | Leader _ | Candidate _ | Follower -> ());
-    tracef t "step down for %a" Ballot.pp ballot;
-    event t
-      (Obs.Event.Stepped_down
-         { round = ballot.Ballot.round; leader = ballot.Ballot.leader });
-    Obs.Span.reset t.spans;
-    t.state <- Follower;
-    Queue.clear t.pre_queue;
-    draw_fuzz t
-  | Follower -> ());
-  t.last_leader_contact <- now t
-
-(* ------------------------------------------------------------------ *)
-(* Message handlers                                                    *)
-(* ------------------------------------------------------------------ *)
-
-let note_leader_contact t ballot src =
-  if Ballot.(t.max_seen <= ballot) then begin
-    t.max_seen <- ballot;
-    if t.leader_hint_ <> src then begin
-      t.leader_hint_ <- src;
-      event t (Obs.Event.Leader_changed { leader = src })
-    end;
-    t.last_leader_contact <- now t;
-    if t.params.Params.enable_leases then
-      t.lease_gate_until <- now t +. t.params.Params.lease_guard
-  end
-
-let on_p1a t ~src ~ballot ~low =
-  if Ballot.(ballot < t.max_seen) then
-    send t src (Types.P1Nack { ballot; promised = t.max_seen })
-  else if
-    (* Lease gate: a leader may be serving reads on the strength of our
-       recent silence-compliance; refuse to enable a usurper until the
-       guard has elapsed. Our own candidacy never reaches here (self-promise
-       is local), and a crashed main re-arms the gate on recovery. *)
-    t.params.Params.enable_leases
-    && src <> t.leader_hint_
-    && now t < t.lease_gate_until
-  then begin
-    metric t "lease_gated_p1a";
-    send t src (Types.P1Nack { ballot; promised = t.max_seen })
-  end
-  else begin
-    (match t.state with
-    | Leader l when Ballot.(l.l_ballot < ballot) -> step_down t ballot
-    | Candidate c when Ballot.(c.c_ballot < ballot) -> step_down t ballot
-    | Leader _ | Candidate _ | Follower -> ());
-    let acc, res = Acceptor.handle_p1a t.acceptor ~ballot ~low in
-    t.acceptor <- acc;
-    persist_acceptor t;
-    match res with
-    | Acceptor.Promise (votes, floor) ->
-      if Ballot.(t.max_seen < ballot) then t.max_seen <- ballot;
-      t.last_leader_contact <- now t;
-      send t src
-        (Types.P1b { ballot; from = t.ctx.Engine.self; votes; compacted_upto = floor })
-    | Acceptor.P1_nack promised -> send t src (Types.P1Nack { ballot; promised })
-  end
-
-let on_p1b t ~from ~ballot ~votes ~compacted =
-  match t.state with
-  | Candidate c when Ballot.equal ballot c.c_ballot ->
-    Hashtbl.replace c.c_promises from compacted;
-    c.c_max_compacted <- max c.c_max_compacted compacted;
-    List.iter (fun (i, v) -> if i >= Log.prefix t.log then merge_vote c i v) votes;
-    try_finish_phase1 t c
-  | Candidate _ | Leader _ | Follower -> ()
-
-let on_p2a t ~src ~ballot ~instance ~entry =
-  note_leader_contact t ballot ballot.Ballot.leader;
-  let acc, res = Acceptor.handle_p2a t.acceptor ~ballot ~instance ~entry in
-  t.acceptor <- acc;
-  (match res with
-  | Acceptor.Accepted ->
-    persist_acceptor t;
-    (match t.state with
-    | (Leader _ | Candidate _) when Ballot.(ballot > t.max_seen) -> step_down t ballot
-    | Leader _ | Candidate _ | Follower -> ());
-    send t src (Types.P2b { ballot; instance; from = t.ctx.Engine.self })
-  | Acceptor.P2_nack promised ->
-    send t src (Types.P2Nack { ballot; instance; promised })
-  | Acceptor.Stale ->
-    (* Below our compaction floor: it is already chosen; a main can answer
-       with the chosen entry to help the sender converge. *)
-    (match Log.get t.log instance with
-    | Some chosen when t.role_ = Main -> send t src (Types.Commit { instance; entry = chosen })
-    | Some _ | None -> ()))
-
-let on_p2b t ~from ~ballot ~instance =
-  match t.state with
-  | Leader lead when Ballot.equal ballot lead.l_ballot -> begin
-    match Hashtbl.find_opt lead.l_pending instance with
-    | None -> ()
-    | Some p ->
-      if not (List.mem from p.p_acks) then begin
-        p.p_acks <- from :: p.p_acks;
-        check_chosen t lead instance
-      end
-  end
-  | Leader _ | Candidate _ | Follower -> ()
-
-let on_nack t ~promised =
-  if Ballot.(promised > t.max_seen) then begin
-    match t.state with
-    | Leader l when Ballot.(l.l_ballot < promised) -> step_down t promised
-    | Candidate c when Ballot.(c.c_ballot < promised) -> step_down t promised
-    | Leader _ | Candidate _ | Follower -> t.max_seen <- promised
-  end
-
-let gap_threshold = 8
-
-let maybe_catchup t ~their_floor =
-  if t.role_ = Main && their_floor > Log.prefix t.log + gap_threshold then
-    request_catchup t (Configs.latest t.configs).Config.mains
-
-let on_commit t ~instance ~entry =
-  ignore (learn t instance entry);
-  if instance > Log.prefix t.log + gap_threshold then
-    maybe_catchup t ~their_floor:instance
-
-let on_commit_floor t ~upto =
-  (* Auxiliaries compact up to the announced floor; mains cap it at their own
-     chosen prefix (their log must keep covering their votes). *)
-  let upto = if t.role_ = Main then min upto (Log.prefix t.log) else upto in
-  if upto > Acceptor.compacted_upto t.acceptor then begin
-    t.acceptor <- Acceptor.compact t.acceptor ~upto;
-    persist_acceptor t;
-    metric t "compactions"
-  end
-
-let on_heartbeat t ~src ~ballot ~commit_floor ~sent_at =
-  if Ballot.(ballot >= t.max_seen) then begin
-    (match t.state with
-    | Leader l when Ballot.(l.l_ballot < ballot) -> step_down t ballot
-    | Candidate c when Ballot.(c.c_ballot < ballot) -> step_down t ballot
-    | Leader _ | Candidate _ | Follower -> ());
-    note_leader_contact t ballot src;
-    send t src
-      (Types.HeartbeatAck
-         { ballot; from = t.ctx.Engine.self; prefix = Log.prefix t.log; echo = sent_at });
-    maybe_catchup t ~their_floor:commit_floor
-  end
-
-(* The lease holds while every main of every configuration still governing
-   instances ≥ our prefix has echoed a heartbeat sent within the last
-   (1 - lease_margin) * guard. Any usurper that could commit a write is a
-   main of one of those configurations (its own quorums each contain such a
-   main, and the candidate itself is one), and a main only cooperates with a
-   usurper — or campaigns — once its own leader contact is older than the
-   full guard; the lease_margin * guard difference is the clock-skew safety
-   margin. Using only the *latest* config here would be unsound: during a
-   reconfiguration window a removed (but possibly alive) main still belongs
-   to the governing config and could win an election through the
-   auxiliaries. *)
-let lease_valid t lead =
-  t.params.Params.enable_leases
-  &&
-  let cfgs = Configs.covering t.configs ~low:(Log.prefix t.log) in
-  let mains = List.concat_map (fun c -> c.Config.mains) cfgs |> List.sort_uniq compare in
-  let deadline =
-    now t -. ((1. -. t.params.Params.lease_margin) *. t.params.Params.lease_guard)
-  in
-  List.for_all
-    (fun m ->
-      m = t.ctx.Engine.self
-      ||
-      match Hashtbl.find_opt lead.l_echo m with
-      | Some echoed -> echoed >= deadline
-      | None -> false)
-    mains
-
-(* Re-evaluate the lease and report the edge; returns its current validity. *)
-let refresh_lease t lead ~reason =
-  let valid = lease_valid t lead in
-  if valid && not lead.l_lease_held then begin
-    lead.l_lease_held <- true;
-    event t (Obs.Event.Lease_acquired { round = lead.l_ballot.Ballot.round })
-  end
-  else if (not valid) && lead.l_lease_held then begin
-    lead.l_lease_held <- false;
-    event t (Obs.Event.Lease_lost { reason })
-  end;
-  valid
-
-let on_heartbeat_ack t ~from ~ballot ~prefix ~echo =
-  match t.state with
-  | Leader lead when Ballot.equal ballot lead.l_ballot ->
-    Hashtbl.replace lead.l_acks from (now t, prefix);
-    let prev = Option.value ~default:neg_infinity (Hashtbl.find_opt lead.l_echo from) in
-    if echo > prev then Hashtbl.replace lead.l_echo from echo;
-    ignore (refresh_lease t lead ~reason:"expired");
-    update_aux_floor t lead
-  | Leader _ | Candidate _ | Follower -> ()
-
-let on_catchup_req t ~src ~from_instance =
-  if t.role_ = Main then begin
-    if from_instance < Log.base t.log then begin
-      match Stable.get t.ctx.Engine.stable "snapshot" with
-      | Some (snap : Types.snapshot) ->
-        let entries =
-          Log.range t.log ~lo:snap.next_instance
-            ~hi:(min (Log.prefix t.log) (snap.next_instance + t.params.catchup_batch))
-        in
-        send t src (Types.CatchupResp { entries; snapshot = Some snap })
-      | None -> ()
-    end
-    else begin
-      let hi = min (Log.prefix t.log) (from_instance + t.params.catchup_batch) in
-      let entries = Log.range t.log ~lo:from_instance ~hi in
-      if entries <> [] then send t src (Types.CatchupResp { entries; snapshot = None })
-    end
-  end
-
-let install_snapshot t (snap : Types.snapshot) =
-  if snap.next_instance > t.executed_ then begin
-    tracef t "install snapshot at %d" snap.next_instance;
-    t.app.Appi.restore snap.app_state;
-    Hashtbl.reset t.sessions;
-    List.iter
-      (fun (c, (floor, replies)) ->
-        Hashtbl.replace t.sessions c (Session.import { Session.floor; replies }))
-      snap.sessions;
-    Configs.import t.configs ~base:snap.base_config ~at:snap.next_instance
-      ~pending:snap.pending_configs;
-    (* Drop persisted log entries below the snapshot. *)
-    for i = Log.base t.log to Log.max_chosen t.log do
-      if i < snap.next_instance then Stable.remove t.ctx.Engine.stable (log_key i)
-    done;
-    Log.reset_to t.log snap.next_instance;
-    t.executed_ <- snap.next_instance;
-    Stable.put t.ctx.Engine.stable "snapshot" snap;
-    metric t "snapshot_installs"
-  end
-
-let on_catchup_resp t ~entries ~snapshot =
-  if t.role_ = Main then begin
-    (match snapshot with Some s -> install_snapshot t s | None -> ());
-    List.iter (fun (i, e) -> ignore (learn t i e)) entries;
-    (* Re-evaluate a blocked candidacy now that the prefix may have moved. *)
-    match t.state with
-    | Candidate c -> try_finish_phase1 t c
-    | Leader _ | Follower -> ()
-  end
-
-let on_join_req t ~from =
-  match t.state with
-  | Leader lead
-    when t.policy.Policy.reconfigure
-         && (not lead.l_reconfig_inflight)
-         && (not (Config.is_main (Configs.latest t.configs) from))
-         && List.length (Configs.latest t.configs).Config.mains < t.target_mains
-         && List.mem from t.universe_mains ->
-    if propose_entry t lead (Types.Reconfig (Types.Add_main from)) then begin
-      lead.l_reconfig_inflight <- true;
-      metric t "add_proposed"
-    end
-  | Leader _ | Candidate _ | Follower -> ()
-
-(* Fence: a lease read must not be served ahead of the apply point of any
-   write it could have observed. Two cases: (a) a fresh leadership whose
-   phase-1 recovered instances are not all executed yet — local state may
-   miss writes completed under the predecessor; (b) an earlier command from
-   the same client still queued or in flight — the client issued it first,
-   so program order requires the read to see it. Writes from *other* clients
-   still in flight are concurrent with this read, so serving before they
-   apply is a legal linearization (they only reply after execution). *)
-let read_fenced t lead (cmd : Types.command) =
-  t.executed_ < lead.l_recover_hi
-  || Hashtbl.fold
-       (fun (c, s) () acc -> acc || (c = cmd.client && s < cmd.seq))
-       lead.l_inflight_cmds false
-  || Queue.fold
-       (fun acc (q : Types.command) -> acc || (q.client = cmd.client && q.seq < cmd.seq))
-       false lead.l_queue
-
-let serve_lease_read t (cmd : Types.command) =
-  metric t "lease_reads";
-  event t
-    (Obs.Event.Lease_read_served { client = cmd.client; seq = cmd.seq; upto = t.executed_ });
-  let result = t.app.Appi.apply cmd.op in
-  send t cmd.client (Types.ClientResp { client = cmd.client; seq = cmd.seq; result })
-
-let on_client_req t (cmd : Types.command) =
-  match t.state with
-  | Leader lead -> begin
-    let status =
-      match Hashtbl.find_opt t.sessions cmd.client with
-      | Some sess -> Session.status sess cmd.seq
-      | None -> `New
-    in
-    match status with
-    | `Cached result ->
-      send t cmd.client (Types.ClientResp { client = cmd.client; seq = cmd.seq; result })
-    | `Evicted -> () (* ancient duplicate: reply evicted, nothing to say *)
-    | `New ->
-      if
-        t.params.Params.enable_leases
-        && t.app.Appi.read_only cmd.op
-        && (not (Hashtbl.mem lead.l_inflight_cmds (cmd.client, cmd.seq)))
-        && refresh_lease t lead ~reason:"expired"
-        && not (read_fenced t lead cmd)
-      then
-        (* Read-only and unfenced: answer locally even though the client used
-           the ordered submit path — ordering it would buy nothing. *)
-        serve_lease_read t cmd
-      else if not (Hashtbl.mem lead.l_inflight_cmds (cmd.client, cmd.seq)) then begin
-        if Queue.length lead.l_queue >= t.params.Params.queue_limit then
-          (* Backpressure: the pipeline window is full and the queue is at
-             capacity. Drop; the client's backoff retry re-offers it later. *)
-          metric t "backpressure_drops"
-        else begin
-          event t (Obs.Event.Command_submitted { client = cmd.client; seq = cmd.seq });
-          Obs.Span.submitted t.spans ~client:cmd.client ~seq:cmd.seq ~at:(now t);
-          if Queue.is_empty lead.l_queue then lead.l_queue_since <- now t;
-          Queue.push cmd lead.l_queue;
-          pump t lead
-        end
-      end
-  end
-  | Candidate _ ->
-    (* We may be about to win: hold the request instead of bouncing the
-       client through a redirect-to-self cycle. *)
-    if Queue.length t.pre_queue >= t.params.Params.queue_limit then
-      metric t "backpressure_drops"
-    else Queue.push cmd t.pre_queue
-  | Follower -> send t cmd.client (Types.Redirect { leader_hint = t.leader_hint_ })
-
-let on_client_read t (cmd : Types.command) =
-  match t.state with
-  | Leader lead ->
-    if not (t.app.Appi.read_only cmd.op) then begin
-      (* A mutating op on the read path would apply off-log and silently
-         diverge this replica from the rest; force it through ordering. *)
-      metric t "lease_rejects";
-      on_client_req t cmd
-    end
-    else if refresh_lease t lead ~reason:"expired" then begin
-      (* Local linearizable read: our applied state reflects every committed
-         write, and no new leader can commit until the lease expires — but a
-         fenced read must wait for the apply point it could observe. *)
-      if read_fenced t lead cmd then begin
-        metric t "lease_reads_deferred";
-        Queue.push cmd lead.l_reads
-      end
-      else serve_lease_read t cmd
-    end
-    else begin
-      metric t "lease_read_fallbacks";
-      on_client_req t cmd
-    end
-  | Candidate _ ->
-    if Queue.length t.pre_queue >= t.params.Params.queue_limit then
-      metric t "backpressure_drops"
-    else Queue.push cmd t.pre_queue
-  | Follower -> send t cmd.client (Types.Redirect { leader_hint = t.leader_hint_ })
-
-(* Deferred reads: serve those whose fence has cleared — still from local
-   state if the lease survived, through the ordered path if it lapsed.
-   Driven by the tick, so a deferred read resolves within a tick of its
-   fence clearing. *)
-let drain_deferred_reads t lead =
-  if not (Queue.is_empty lead.l_reads) then begin
-    let pending = Queue.create () in
-    Queue.transfer lead.l_reads pending;
-    let valid = refresh_lease t lead ~reason:"expired" in
-    Queue.iter
-      (fun (cmd : Types.command) ->
-        if not valid then begin
-          metric t "lease_read_fallbacks";
-          on_client_req t cmd
-        end
-        else if read_fenced t lead cmd then Queue.push cmd lead.l_reads
-        else serve_lease_read t cmd)
-      pending
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Tick: timeouts, retransmission, failure detection                   *)
-(* ------------------------------------------------------------------ *)
-
-let widen t lead i p =
-  if not p.p_widened then begin
-    p.p_widened <- true;
-    event t (Obs.Event.Phase2_widened { instance = i });
-    engage t lead ~instance:i;
-    metric t "aux_engagements";
-    observe t "aux_engaged_at" (now t);
-    let auxes = active_auxes_for t i in
-    List.iter
-      (fun a ->
-        if not (List.mem a p.p_acks) then
-          send t a (Types.P2a { ballot = lead.l_ballot; instance = i; entry = p.p_entry }))
-      auxes
-  end
-
-let retransmit_pending t lead =
-  let t_now = now t in
-  Hashtbl.iter
-    (fun i p ->
-      if
-        t.policy.Policy.widen_on_timeout
-        && (not p.p_widened)
-        && t_now -. p.p_started > t.params.widen_timeout
-      then widen t lead i p;
-      if t_now -. p.p_last_send > t.params.retransmit then begin
-        p.p_last_send <- t_now;
-        let cfg = Configs.config_for t.configs i in
-        let targets = phase2_targets t cfg ~widened:p.p_widened in
-        List.iter
-          (fun dst ->
-            if not (List.mem dst p.p_acks) then
-              send t dst (Types.P2a { ballot = lead.l_ballot; instance = i; entry = p.p_entry }))
-          targets
-      end)
-    lead.l_pending
-
-(* Refresh the leader's failure detector over the current mains. *)
-let update_suspects t lead =
-  let cfg = Configs.latest t.configs in
-  let t_now = now t in
-  Hashtbl.reset lead.l_suspected;
-  List.iter
-    (fun m ->
-      if m <> t.ctx.Engine.self then begin
-        let last =
-          match Hashtbl.find_opt lead.l_acks m with Some (at, _) -> at | None -> lead.l_since
-        in
-        if t_now -. last > t.params.suspect_timeout then Hashtbl.replace lead.l_suspected m ()
-      end)
-    cfg.Config.mains
-
-let suspect_mains t lead =
-  update_suspects t lead;
-  if t.policy.Policy.reconfigure && not lead.l_reconfig_inflight then begin
-    let cfg = Configs.latest t.configs in
-    let suspects = Hashtbl.fold (fun m () acc -> m :: acc) lead.l_suspected [] in
-    match List.sort compare suspects with
-    | m :: _ when List.length cfg.Config.mains > 1 ->
-      if propose_entry t lead (Types.Reconfig (Types.Remove_main m)) then begin
-        lead.l_reconfig_inflight <- true;
-        metric t "remove_proposed";
-        tracef t "suspect main %d -> propose removal" m
-      end
-    | _ :: _ | [] -> ()
-  end
-
-let maybe_join t =
-  let cfg = Configs.latest t.configs in
-  if
-    t.role_ = Main
-    && (not (Config.is_main cfg t.ctx.Engine.self))
-    && List.length cfg.Config.mains < t.target_mains
-    && now t -. t.last_join_sent >= t.params.join_interval
-  then begin
-    t.last_join_sent <- now t;
-    List.iter
-      (fun m ->
-        if m <> t.ctx.Engine.self then send t m (Types.JoinReq { from = t.ctx.Engine.self }))
-      cfg.Config.mains
-  end
-
-let on_tick t =
-  let t_now = now t in
-  (match t.state with
-  | Leader lead ->
-    if lead.l_abdicate then begin
-      (* Re-campaign with a fresh ballot: the covering configurations now
-         include the one our old phase 1 did not reach. If the executed
-         reconfiguration removed us, we are not eligible — stay a follower. *)
-      if lead.l_lease_held then begin
-        lead.l_lease_held <- false;
-        event t (Obs.Event.Lease_lost { reason = "abdicated" })
-      end;
-      t.state <- Follower;
-      draw_fuzz t;
-      t.last_leader_contact <- t_now;
-      if Config.is_main (Configs.latest t.configs) t.ctx.Engine.self then
-        become_candidate t
-    end
-    else begin
-      if t_now -. lead.l_last_hb >= t.params.hb_interval then send_heartbeats t lead;
-      retransmit_pending t lead;
-      suspect_mains t lead;
-      pump t lead;
-      ignore (refresh_lease t lead ~reason:"expired");
-      drain_deferred_reads t lead
-    end
-  | Candidate c ->
-    if t_now -. c.c_started > t.params.leader_timeout then begin
-      (* Candidacy stalled (competition or losses): retry with a higher ballot. *)
-      t.state <- Follower;
-      become_candidate t
-    end
-    else begin
-      if
-        t.policy.Policy.widen_on_timeout && (not c.c_widened)
-        && t_now -. c.c_started > t.params.widen_timeout
-      then begin
-        c.c_widened <- true;
-        send_p1a t c
-      end
-      else if t_now -. c.c_last_send > t.params.retransmit then send_p1a t c;
-      try_finish_phase1 t c
-    end
-  | Follower ->
-    let cfg = Configs.latest t.configs in
-    if Config.is_main cfg t.ctx.Engine.self then begin
-      if t_now -. t.last_leader_contact > t.params.leader_timeout +. t.election_fuzz then begin
-        draw_fuzz t;
-        become_candidate t
-      end
-    end
-    else maybe_join t)
-
-(* ------------------------------------------------------------------ *)
-(* Construction and recovery                                           *)
-(* ------------------------------------------------------------------ *)
-
-let recover t =
-  (match Stable.get t.ctx.Engine.stable "acceptor" with
-  | Some image -> t.acceptor <- Acceptor.import image
-  | None -> ());
-  if t.role_ = Main then begin
-    (match Stable.get t.ctx.Engine.stable "snapshot" with
-    | Some (snap : Types.snapshot) ->
-      t.app.Appi.restore snap.app_state;
-      List.iter
-        (fun (c, (floor, replies)) ->
-          Hashtbl.replace t.sessions c (Session.import { Session.floor; replies }))
-        snap.sessions;
-      Configs.import t.configs ~base:snap.base_config ~at:snap.next_instance
-        ~pending:snap.pending_configs;
-      Log.reset_to t.log snap.next_instance;
-      t.executed_ <- snap.next_instance
-    | None -> ());
-    let prefix = "log." in
-    let entries =
-      Stable.keys t.ctx.Engine.stable
-      |> List.filter_map (fun k ->
-             if String.length k > String.length prefix
-                && String.sub k 0 (String.length prefix) = prefix
-             then
-               match int_of_string_opt (String.sub k (String.length prefix)
-                                          (String.length k - String.length prefix))
-               with
-               | Some i when i >= Log.base t.log ->
-                 Stable.get t.ctx.Engine.stable k
-                 |> Option.map (fun (e : Types.entry) -> (i, e))
-               | Some _ | None -> None
-             else None)
-      |> List.sort compare
-    in
-    List.iter (fun (i, e) -> ignore (Log.add_chosen t.log i e)) entries;
-    execute_ready t
-  end
-
-let create ctx ~role ~policy ~params ~initial ~universe_mains ~universe_auxes
-    ~app:(module A : Appi.S) =
   let t =
     {
+      core;
       ctx;
-      role_ = role;
-      policy;
-      params;
-      universe_mains;
-      universe_auxes;
-      target_mains = List.length initial.Config.mains;
-      app = Appi.instantiate (module A);
-      acceptor = Acceptor.create ();
-      log = Log.create ();
-      configs = Configs.create ~alpha:params.Params.alpha ~initial;
-      executed_ = 0;
-      sessions = Hashtbl.create 16;
-      state = Follower;
-      pre_queue = Queue.create ();
-      max_seen = Ballot.bottom;
-      leader_hint_ = (match initial.Config.mains with m :: _ -> m | [] -> ctx.Engine.self);
-      last_leader_contact = ctx.Engine.now ();
-      election_fuzz = 0.;
-      last_join_sent = neg_infinity;
-      last_catchup_sent = neg_infinity;
-      lease_gate_until = 0.;
       spans =
         Obs.Span.create ~observe:(fun name v -> Metrics.observe ctx.Engine.metrics name v);
     }
   in
-  draw_fuzz t;
-  let had_state = Stable.mem ctx.Engine.stable "acceptor" in
-  (* A restarting main cannot know how recently it complied with a lease:
-     re-arm the gate for a full guard period. *)
-  if had_state && params.Params.enable_leases then
-    t.lease_gate_until <- ctx.Engine.now () +. params.Params.lease_guard;
-  recover t;
-  if role = Main then begin
-    ignore (ctx.Engine.set_timer ~tag:"tick" t.params.tick);
-    (* First boot: the smallest initial main campaigns immediately so that
-       experiments start with a leader instead of a timeout. *)
-    if (not had_state) && (match initial.Config.mains with
-                          | m :: _ -> m = ctx.Engine.self
-                          | [] -> false)
-    then become_candidate t
-  end;
+  interpret t effects;
   t
 
 let handlers t =
   let on_message ~src msg =
-    metric t ("rx." ^ Types.classify msg);
-    if t.role_ = Aux then observe t "aux_msg_at" (now t);
-    match (msg : Types.msg) with
-    | Types.P1a { ballot; low } -> on_p1a t ~src ~ballot ~low
-    | Types.P1b { ballot; from; votes; compacted_upto } ->
-      on_p1b t ~from ~ballot ~votes ~compacted:compacted_upto
-    | Types.P1Nack { promised; _ } -> on_nack t ~promised
-    | Types.P2a { ballot; instance; entry } -> on_p2a t ~src ~ballot ~instance ~entry
-    | Types.P2b { ballot; instance; from } -> on_p2b t ~from ~ballot ~instance
-    | Types.P2Nack { promised; _ } -> on_nack t ~promised
-    | Types.Commit { instance; entry } -> on_commit t ~instance ~entry
-    | Types.CommitFloor { upto } -> on_commit_floor t ~upto
-    | Types.Heartbeat { ballot; commit_floor; sent_at } ->
-      on_heartbeat t ~src ~ballot ~commit_floor ~sent_at
-    | Types.HeartbeatAck { ballot; from; prefix; echo } ->
-      on_heartbeat_ack t ~from ~ballot ~prefix ~echo
-    | Types.CatchupReq { from; from_instance } -> on_catchup_req t ~src:from ~from_instance
-    | Types.CatchupResp { entries; snapshot } -> on_catchup_resp t ~entries ~snapshot
-    | Types.JoinReq { from } -> on_join_req t ~from
-    | Types.ClientReq cmd -> on_client_req t cmd
-    | Types.ClientRead cmd -> on_client_read t cmd
-    | Types.ClientResp _ | Types.Redirect _ -> () (* client-bound; ignore *)
+    let _, effects = Core.step t.core ~now:(t.ctx.Engine.now ()) (Core.Deliver { src; msg }) in
+    interpret t effects
   in
   let on_timer ~tid:_ ~tag =
-    match tag with
-    | "tick" ->
-      if t.role_ = Main then begin
-        ignore (t.ctx.Engine.set_timer ~tag:"tick" t.params.tick);
-        on_tick t
-      end
-    | _ -> ()
+    let _, effects = Core.step t.core ~now:(t.ctx.Engine.now ()) (Core.Timer { tag }) in
+    interpret t effects
   in
   { Engine.on_message; on_timer }
 
@@ -1295,38 +107,40 @@ let handlers t =
 (* Introspection                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let role t = t.role_
+let role t = t.core.State.role_
+
+let is_leader t = State.is_leader t.core
 
 let current_ballot t =
-  match t.state with
-  | Leader l -> Some l.l_ballot
-  | Candidate c -> Some c.c_ballot
-  | Follower -> None
+  match t.core.State.state with
+  | State.Leader l -> Some l.State.l_ballot
+  | State.Candidate c -> Some c.State.c_ballot
+  | State.Follower -> None
 
-let leader_hint t = t.leader_hint_
+let leader_hint t = t.core.State.leader_hint_
 
-let prefix t = Log.prefix t.log
+let prefix t = Log.prefix t.core.State.log
 
-let executed t = t.executed_
+let executed t = t.core.State.executed_
 
-let latest_config t = Configs.latest t.configs
+let latest_config t = Configs.latest t.core.State.configs
 
-let config_timeline t = Configs.timeline t.configs
+let config_timeline t = Configs.timeline t.core.State.configs
 
-let log_range t ~lo ~hi = Log.range t.log ~lo ~hi
+let log_range t ~lo ~hi = Log.range t.core.State.log ~lo ~hi
 
-let log_base t = Log.base t.log
+let log_base t = Log.base t.core.State.log
 
 let session_of t client =
-  match Hashtbl.find_opt t.sessions client with
+  match Hashtbl.find_opt t.core.State.sessions client with
   | None -> None
   | Some sess ->
     let seq = Session.max_seq sess in
     let reply = match Session.status sess seq with `Cached r -> r | _ -> "" in
     Some (seq, reply)
 
-let acceptor_vote_count t = Acceptor.vote_count t.acceptor
+let acceptor_vote_count t = Acceptor.vote_count t.core.State.acceptor
 
-let acceptor_floor t = Acceptor.compacted_upto t.acceptor
+let acceptor_floor t = Acceptor.compacted_upto t.core.State.acceptor
 
-let acceptor_promised t = Acceptor.promised t.acceptor
+let acceptor_promised t = Acceptor.promised t.core.State.acceptor

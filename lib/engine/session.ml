@@ -56,3 +56,5 @@ let import image =
   { s_floor = image.floor; s_replies = replies; s_high = high }
 
 let cached_count t = IMap.cardinal t.s_replies
+
+let copy t = { s_floor = t.s_floor; s_replies = t.s_replies; s_high = t.s_high }

@@ -35,3 +35,6 @@ val export : t -> image
 val import : image -> t
 
 val cached_count : t -> int
+
+val copy : t -> t
+(** Independent snapshot of the session. *)

@@ -13,6 +13,8 @@ let next_raw t =
 
 let int64 t = next_raw t
 
+let copy t = { state = t.state }
+
 let split t =
   let s = next_raw t in
   { state = Int64.mul s 0xDA942042E4DD58B5L }

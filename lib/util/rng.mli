@@ -38,3 +38,6 @@ val pick : t -> 'a array -> 'a
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
+
+val copy : t -> t
+(** Independent generator continuing from the same point in the stream. *)

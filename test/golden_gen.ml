@@ -1,0 +1,18 @@
+(* Regenerate the committed golden traces under test/golden/. Run from the
+   repo root: `dune exec test/golden_gen.exe`. Only regenerate when a
+   deliberate behaviour change is introduced — the point of these files is
+   to fail the build when the replica's event stream drifts by accident. *)
+
+let () =
+  let dir = Filename.concat "test" "golden" in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun case ->
+      let dump = Cp_harness.Golden.dump_case case in
+      let path = Filename.concat "test" (Cp_harness.Golden.file_of case) in
+      let oc = open_out path in
+      output_string oc dump;
+      close_out oc;
+      Printf.printf "wrote %s (%d lines)\n" path
+        (List.length (String.split_on_char '\n' dump) - 1))
+    Cp_harness.Golden.cases

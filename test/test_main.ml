@@ -17,6 +17,7 @@ let () =
       ("client", Test_client.suite);
       ("codec", Test_codec.suite);
       ("mc", Test_mc.suite);
+      ("roles", Test_roles.suite);
       ("lease", Test_lease.suite);
       ("netio", Test_netio.suite);
       ("batching", Test_batching.suite);
@@ -27,4 +28,5 @@ let () =
       ("nemesis", Test_nemesis.suite);
       ("netio-unit", Test_netio_unit.suite);
       ("obs", Test_obs.suite);
+      ("golden", Test_golden.suite);
     ]

@@ -2,6 +2,7 @@
    counterexamples on broken ones (so we know the checker can fail). *)
 
 module Mc = Cp_mc.Mc
+module Mc_replica = Cp_mc.Mc_replica
 
 let spec ?(f = 1) ~quorums ~proposals () =
   { Mc.n_acceptors = (2 * f) + 1; quorums; proposals }
@@ -87,6 +88,20 @@ let test_distinct_ballots_required () =
       ignore
         (Mc.check (spec ~f:1 ~quorums:(Mc.majorities ~n:3) ~proposals:[ (0, 1); (0, 2) ] ())))
 
+let test_deep_real_replica_bounded () =
+  (* Deep check: the real Core.step under message-soup semantics. Small
+     budget here; CI runs a bigger bounded search via the CLI. *)
+  let r = Mc_replica.check ~max_states:1_500 () in
+  Alcotest.(check (option string)) "no violation" None r.Mc_replica.violation;
+  Alcotest.(check bool)
+    (Printf.sprintf "nontrivial exploration (%d states)" r.Mc_replica.states)
+    true
+    (r.Mc_replica.states > 100)
+
+let test_deep_explores_depth () =
+  let r = Mc_replica.check ~max_states:500 () in
+  Alcotest.(check bool) "reaches depth > 3" true (r.Mc_replica.max_depth > 3)
+
 let suite =
   [
     Alcotest.test_case "quorum generators" `Quick test_quorum_generators;
@@ -99,4 +114,6 @@ let suite =
     Alcotest.test_case "mains/aux split caught" `Quick test_broken_mains_only_after_shrink;
     Alcotest.test_case "single proposer safe" `Quick test_single_proposer_always_decides_safely;
     Alcotest.test_case "distinct ballots required" `Quick test_distinct_ballots_required;
+    Alcotest.test_case "deep: real replica, bounded" `Quick test_deep_real_replica_bounded;
+    Alcotest.test_case "deep: explores depth" `Quick test_deep_explores_depth;
   ]

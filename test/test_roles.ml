@@ -1,0 +1,300 @@
+(* Unit tests for the sans-IO role modules: each case builds a pure core via
+   [Core.create] (no engine, no IO), drives one role's [step] with a crafted
+   input, and asserts on the returned effect list and the mutated state. *)
+
+open Cp_proto
+module State = Cp_engine.State
+module Core = Cp_engine.Core
+module Effect = Cp_engine.Effect
+module Acceptor_core = Cp_engine.Acceptor_core
+module Leader = Cp_engine.Leader
+module Learner = Cp_engine.Learner
+module Catchup = Cp_engine.Catchup
+module Lease = Cp_engine.Lease
+module Policy = Cp_engine.Policy
+module Params = Cp_engine.Params
+module Log = Cp_engine.Log
+module Rng = Cp_util.Rng
+
+module Toy = struct
+  type state = string ref
+
+  let name = "toy"
+
+  let init () = ref ""
+
+  let apply st op =
+    st := !st ^ op;
+    "r:" ^ op
+
+  let read_only op = String.length op > 0 && op.[0] = '?'
+
+  let snapshot st = !st
+
+  let restore s = ref s
+end
+
+let policy =
+  { Policy.name = "test"; narrow_phase2 = true; widen_on_timeout = true; reconfigure = false }
+
+(* f = 1: mains {0, 1}, auxiliary {2}. Node 0 campaigns at creation (fresh
+   boot, smallest main); node 1 boots a follower; node 2 boots an aux. *)
+let mk ?(self = 0) ?(role = State.Main) ?(params = Params.default) () =
+  let initial = Config.cheap ~f:1 in
+  Core.create ~self ~now:0. ~rng:(Rng.create (self + 7)) ~role ~policy ~params ~initial
+    ~universe_mains:initial.Config.mains ~universe_auxes:initial.Config.aux_pool
+    ~app:(module Toy : Appi.S) ~recovery:State.fresh_boot
+
+let sends_to dst effects =
+  Effect.sends effects |> List.filter_map (fun (d, m) -> if d = dst then Some m else None)
+
+let has_persist_acceptor effects =
+  List.exists (function Effect.Persist_acceptor _ -> true | _ -> false) effects
+
+let ballot0 = Ballot.succ_for Ballot.bottom ~leader:0
+
+(* --- acceptor ----------------------------------------------------------- *)
+
+let test_acceptor_promise () =
+  let t, _ = mk ~self:1 () in
+  let t, effs = Acceptor_core.step t ~now:0.1 (Acceptor_core.P1a { src = 0; ballot = ballot0; low = 0 }) in
+  (match sends_to 0 effs with
+  | [ Types.P1b { ballot; from; votes; compacted_upto } ] ->
+    Alcotest.(check bool) "same ballot" true (Ballot.equal ballot ballot0);
+    Alcotest.(check int) "from self" 1 from;
+    Alcotest.(check int) "no votes yet" 0 (List.length votes);
+    Alcotest.(check int) "floor 0" 0 compacted_upto
+  | _ -> Alcotest.fail "expected exactly one P1b to src");
+  Alcotest.(check bool) "acceptor image persisted" true (has_persist_acceptor effs);
+  Alcotest.(check bool) "promise recorded" true (Ballot.equal t.State.max_seen ballot0)
+
+let test_acceptor_stale_nack () =
+  let t, _ = mk ~self:1 () in
+  let high = Ballot.succ_for ballot0 ~leader:1 in
+  let t, _ = Acceptor_core.step t ~now:0.1 (Acceptor_core.P1a { src = 1; ballot = high; low = 0 }) in
+  let _, effs = Acceptor_core.step t ~now:0.2 (Acceptor_core.P1a { src = 0; ballot = ballot0; low = 0 }) in
+  match sends_to 0 effs with
+  | [ Types.P1Nack { promised; _ } ] ->
+    Alcotest.(check bool) "nack carries the higher promise" true (Ballot.equal promised high)
+  | _ -> Alcotest.fail "expected exactly one P1Nack"
+
+let test_acceptor_p2a_accept () =
+  let t, _ = mk ~self:2 ~role:State.Aux () in
+  let entry = Types.App { Types.client = 9; seq = 1; op = "x" } in
+  let _, effs =
+    Acceptor_core.step t ~now:0.1 (Acceptor_core.P2a { src = 0; ballot = ballot0; instance = 0; entry })
+  in
+  (match sends_to 0 effs with
+  | [ Types.P2b { instance = 0; from = 2; _ } ] -> ()
+  | _ -> Alcotest.fail "expected exactly one P2b to the proposer");
+  Alcotest.(check bool) "vote persisted" true (has_persist_acceptor effs)
+
+(* --- leader ------------------------------------------------------------- *)
+
+let elect () =
+  (* Node 0 boots as candidate; one promise from node 1 completes phase 1. *)
+  let t, boot_effs = mk ~self:0 () in
+  (match t.State.state with
+  | State.Candidate _ -> ()
+  | _ -> Alcotest.fail "node 0 should campaign on first boot");
+  Alcotest.(check bool)
+    "campaign sent P1a to the other main" true
+    (List.exists (function Types.P1a _ -> true | _ -> false) (sends_to 1 boot_effs));
+  let ballot =
+    match t.State.state with
+    | State.Candidate c -> c.State.c_ballot
+    | _ -> assert false
+  in
+  let t, effs =
+    Leader.step t ~now:0.1 (Leader.P1b { from = 1; ballot; votes = []; compacted = 0 })
+  in
+  (t, ballot, effs)
+
+let test_leader_election () =
+  let t, _, effs = elect () in
+  Alcotest.(check bool) "became leader" true (State.is_leader t);
+  Alcotest.(check bool)
+    "heartbeat to the other main" true
+    (List.exists (function Types.Heartbeat _ -> true | _ -> false) (sends_to 1 effs));
+  Alcotest.(check bool)
+    "ballot_won emitted" true
+    (List.exists
+       (function Effect.Emit (Cp_obs.Event.Ballot_won _) -> true | _ -> false)
+       effs)
+
+let test_leader_propose_and_choose () =
+  let t, ballot, _ = elect () in
+  let cmd = { Types.client = 1000; seq = 1; op = "w" } in
+  let t, effs = Leader.step t ~now:0.2 (Leader.Client_req cmd) in
+  (match sends_to 1 effs with
+  | sends ->
+    Alcotest.(check bool)
+      "P2a to the other main (narrow phase 2)" true
+      (List.exists (function Types.P2a { instance = 0; _ } -> true | _ -> false) sends));
+  Alcotest.(check bool)
+    "nothing to the auxiliary on the fast path" true
+    (sends_to 2 effs |> List.for_all (function Types.P2a _ -> false | _ -> true));
+  let t, effs = Leader.step t ~now:0.3 (Leader.P2b { from = 1; ballot; instance = 0 }) in
+  Alcotest.(check int) "chosen and executed" 1 t.State.executed_;
+  Alcotest.(check bool)
+    "commit broadcast to the other main" true
+    (List.exists (function Types.Commit { instance = 0; _ } -> true | _ -> false) (sends_to 1 effs));
+  match sends_to 1000 effs with
+  | [ Types.ClientResp { seq = 1; _ } ] -> ()
+  | _ -> Alcotest.fail "expected exactly one ClientResp to the client"
+
+let test_leader_redirect_when_follower () =
+  let t, _ = mk ~self:1 () in
+  let cmd = { Types.client = 1000; seq = 1; op = "w" } in
+  let _, effs = Leader.step t ~now:0.1 (Leader.Client_req cmd) in
+  match sends_to 1000 effs with
+  | [ Types.Redirect { leader_hint = 0 } ] -> ()
+  | _ -> Alcotest.fail "follower should redirect to its leader hint"
+
+(* --- learner ------------------------------------------------------------ *)
+
+let test_learner_learn_executes () =
+  let t, _ = mk ~self:1 () in
+  let entry = Types.App { Types.client = 9; seq = 1; op = "a" } in
+  let t, effs = Learner.step t ~now:0.1 (Learner.Learn { instance = 0; entry }) in
+  Alcotest.(check int) "executed through the entry" 1 t.State.executed_;
+  Alcotest.(check bool)
+    "chosen entry persisted" true
+    (List.exists (function Effect.Persist_log (0, _) -> true | _ -> false) effs);
+  Alcotest.(check bool)
+    "execution event emitted" true
+    (List.exists
+       (function
+         | Effect.Emit (Cp_obs.Event.Command_executed { instance = 0 }) -> true
+         | _ -> false)
+       effs)
+
+let test_learner_gap_blocks_execution () =
+  let t, _ = mk ~self:1 () in
+  let entry = Types.App { Types.client = 9; seq = 1; op = "a" } in
+  let t, _ = Learner.step t ~now:0.1 (Learner.Learn { instance = 1; entry }) in
+  Alcotest.(check int) "gap at 0 blocks execution" 0 t.State.executed_;
+  let t, _ = Learner.step t ~now:0.2 (Learner.Learn { instance = 0; entry = Types.Noop }) in
+  Alcotest.(check int) "filling the gap executes both" 2 t.State.executed_
+
+(* --- catchup ------------------------------------------------------------ *)
+
+let learn_n t n =
+  let t = ref t in
+  for i = 0 to n - 1 do
+    let t', _ =
+      Learner.step !t ~now:0.1
+        (Learner.Learn
+           { instance = i; entry = Types.App { Types.client = 9; seq = i + 1; op = "a" } })
+    in
+    t := t'
+  done;
+  !t
+
+let test_catchup_serves_range () =
+  let t = learn_n (fst (mk ~self:1 ())) 3 in
+  let _, effs = Catchup.step t ~now:0.5 (Catchup.Catchup_req { src = 0; from_instance = 0 }) in
+  match sends_to 0 effs with
+  | [ Types.CatchupResp { entries; snapshot = None } ] ->
+    Alcotest.(check int) "all three chosen entries served" 3 (List.length entries)
+  | _ -> Alcotest.fail "expected exactly one CatchupResp"
+
+let test_catchup_commit_learns () =
+  let t, _ = mk ~self:1 () in
+  let t, _ =
+    Catchup.step t ~now:0.1 (Catchup.Commit { instance = 0; entry = Types.Noop })
+  in
+  Alcotest.(check int) "commit advanced the prefix" 1 (Log.prefix t.State.log)
+
+let test_catchup_gap_triggers_request () =
+  let params = { Params.default with Params.gap_threshold = 2 } in
+  let t, _ = mk ~self:1 ~params () in
+  (* A commit far beyond the prefix overruns gap_threshold = 2. *)
+  let _, effs =
+    Catchup.step t ~now:0.1 (Catchup.Commit { instance = 10; entry = Types.Noop })
+  in
+  Alcotest.(check bool)
+    "catch-up requested from the other main" true
+    (List.exists (function Types.CatchupReq _ -> true | _ -> false) (sends_to 0 effs))
+
+let test_catchup_respects_gap_threshold () =
+  let params = { Params.default with Params.gap_threshold = 50 } in
+  let t, _ = mk ~self:1 ~params () in
+  let _, effs =
+    Catchup.step t ~now:0.1 (Catchup.Commit { instance = 10; entry = Types.Noop })
+  in
+  Alcotest.(check bool)
+    "no catch-up inside the threshold" true
+    (sends_to 0 effs |> List.for_all (function Types.CatchupReq _ -> false | _ -> true))
+
+(* --- lease -------------------------------------------------------------- *)
+
+let test_lease_heartbeat_acked () =
+  let t, _ = mk ~self:1 () in
+  let t, effs =
+    Lease.step t ~now:0.4
+      (Lease.Heartbeat { src = 0; ballot = ballot0; commit_floor = 0; sent_at = 0.35 })
+  in
+  (match sends_to 0 effs with
+  | [ Types.HeartbeatAck { from = 1; echo; _ } ] ->
+    Alcotest.(check (float 1e-9)) "echoes the send time, not receipt" 0.35 echo
+  | _ -> Alcotest.fail "expected exactly one HeartbeatAck");
+  Alcotest.(check (float 1e-9)) "leader contact noted" 0.4 t.State.last_leader_contact
+
+let test_lease_stale_heartbeat_ignored () =
+  let t, _ = mk ~self:1 () in
+  let high = Ballot.succ_for ballot0 ~leader:1 in
+  let t, _ = Acceptor_core.step t ~now:0.1 (Acceptor_core.P1a { src = 1; ballot = high; low = 0 }) in
+  let _, effs =
+    Lease.step t ~now:0.2
+      (Lease.Heartbeat { src = 0; ballot = ballot0; commit_floor = 0; sent_at = 0.15 })
+  in
+  Alcotest.(check int) "stale heartbeat produces nothing" 0 (List.length (Effect.sends effs))
+
+(* --- core composition ---------------------------------------------------- *)
+
+let test_core_tick_rearms_timer () =
+  let t, _ = mk ~self:1 () in
+  let _, effs = Core.step t ~now:0.1 (Core.Timer { tag = "tick" }) in
+  match effs with
+  | Effect.Set_timer ("tick", _) :: _ -> ()
+  | _ -> Alcotest.fail "tick must re-arm the timer before any handler work"
+
+let test_core_aux_ignores_tick () =
+  let t, _ = mk ~self:2 ~role:State.Aux () in
+  let _, effs = Core.step t ~now:0.1 (Core.Timer { tag = "tick" }) in
+  Alcotest.(check int) "aux is reactive: no timer, no sends" 0 (List.length effs)
+
+let test_clone_independent () =
+  let t, _, _ = elect () in
+  let before = State.fingerprint t in
+  let c = State.clone t in
+  let _ =
+    Core.step c ~now:1.0
+      (Core.Deliver { src = 1000; msg = Types.ClientReq { client = 1000; seq = 5; op = "z" } })
+  in
+  Alcotest.(check bool) "stepping a clone never touches the original" true
+    (String.equal before (State.fingerprint t));
+  Alcotest.(check bool) "the clone itself diverged" false
+    (String.equal before (State.fingerprint c))
+
+let suite =
+  [
+    Alcotest.test_case "acceptor: p1a promise" `Quick test_acceptor_promise;
+    Alcotest.test_case "acceptor: stale p1a nacked" `Quick test_acceptor_stale_nack;
+    Alcotest.test_case "acceptor: p2a accept" `Quick test_acceptor_p2a_accept;
+    Alcotest.test_case "leader: election" `Quick test_leader_election;
+    Alcotest.test_case "leader: propose and choose" `Quick test_leader_propose_and_choose;
+    Alcotest.test_case "leader: follower redirects" `Quick test_leader_redirect_when_follower;
+    Alcotest.test_case "learner: learn executes" `Quick test_learner_learn_executes;
+    Alcotest.test_case "learner: gap blocks execution" `Quick test_learner_gap_blocks_execution;
+    Alcotest.test_case "catchup: serves range" `Quick test_catchup_serves_range;
+    Alcotest.test_case "catchup: commit learns" `Quick test_catchup_commit_learns;
+    Alcotest.test_case "catchup: gap triggers request" `Quick test_catchup_gap_triggers_request;
+    Alcotest.test_case "catchup: respects gap_threshold" `Quick test_catchup_respects_gap_threshold;
+    Alcotest.test_case "lease: heartbeat acked" `Quick test_lease_heartbeat_acked;
+    Alcotest.test_case "lease: stale heartbeat ignored" `Quick test_lease_stale_heartbeat_ignored;
+    Alcotest.test_case "core: tick re-arms timer" `Quick test_core_tick_rearms_timer;
+    Alcotest.test_case "core: aux ignores tick" `Quick test_core_aux_ignores_tick;
+    Alcotest.test_case "state: clone independence" `Quick test_clone_independent;
+  ]
