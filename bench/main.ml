@@ -463,6 +463,153 @@ let write_reads_snapshot () =
     (if ok then "PASS" else "FAIL");
   ok
 
+(* ------------------------------------------------------------------ *)
+(* Tracing snapshot: three gates on the observability layer itself.    *)
+(* (1) Overhead: the identical simulation timed wall-clock with        *)
+(*     tracing on and off — rings + trace ids must cost < 5%.          *)
+(* (2) Steady-state duty cycle: with no faults the auxiliary's trace   *)
+(*     lane must be ~empty (the paper's claim, as a number).           *)
+(* (3) Determinism: two same-seed failover runs must render byte-      *)
+(*     identical Chrome traces (what the golden test pins, re-checked  *)
+(*     at bench scale). A sample trace is written alongside so CI      *)
+(*     uploads something loadable in Perfetto.                         *)
+(* ------------------------------------------------------------------ *)
+
+let write_trace_snapshot () =
+  let module S = Cp_harness.Scenario in
+  let module Faults = Cp_runtime.Faults in
+  let module Timeline = Cp_obs.Timeline in
+  let clients = 8 in
+  let per_client = if quick then 80 else 250 in
+  let steady_spec ~obs =
+    {
+      (S.default_spec ~sys:(S.Cheap 1)) with
+      S.seed = 45;
+      obs;
+      clients;
+      ops_per_client = per_client;
+      think = 0.;
+      mk_ops =
+        (fun ~client_idx:_ seq -> Cp_workload.Workload.counter_ops ~count:per_client seq);
+      deadline = 60.;
+    }
+  in
+  (* Gate 1: wall-clock cost of tracing. Interleaved on/off pairs, min-of-N:
+     the minimum is the least-noisy estimator for a deterministic workload.
+     The GC flush keeps one run's garbage from being collected on the next
+     run's clock (each timed run still pays for its own allocation). *)
+  let pairs = if quick then 5 else 8 in
+  let time spec =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let r = S.run spec in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let best_on = ref infinity and best_off = ref infinity in
+  let last_on = ref None in
+  for _ = 1 to pairs do
+    let dt_off, _ = time (steady_spec ~obs:false) in
+    let dt_on, r_on = time (steady_spec ~obs:true) in
+    best_off := Float.min !best_off dt_off;
+    best_on := Float.min !best_on dt_on;
+    last_on := Some r_on
+  done;
+  let steady = Option.get !last_on in
+  let total_ops = steady.S.completed in
+  let tput_on = float_of_int total_ops /. !best_on in
+  let tput_off = float_of_int total_ops /. !best_off in
+  let overhead_ratio = tput_on /. tput_off in
+  let overhead_ok = steady.S.finished && overhead_ratio >= 0.95 in
+  (* Gate 2: steady-state auxiliary duty cycle over the back half of the
+     run (skips the initial election), against the leader's for contrast. *)
+  let records = S.trace steady in
+  let t0 = steady.S.wall /. 2. and t1 = steady.S.wall in
+  let duty node = Timeline.duty_cycle ~node ~t0 ~t1 records in
+  let aux_duties = List.map (fun id -> (id, duty id)) (S.aux_ids steady) in
+  let max_aux_duty = List.fold_left (fun acc (_, d) -> Float.max acc d) 0. aux_duties in
+  let main_duties = List.map (fun id -> (id, duty id)) (S.main_ids steady) in
+  let max_main_duty = List.fold_left (fun acc (_, d) -> Float.max acc d) 0. main_duties in
+  let duty_ok = max_aux_duty < 0.01 in
+  (* Gate 3: failover run — engagement window present and closed, and the
+     Chrome export is a deterministic function of (spec, seed). *)
+  let failover_spec =
+    {
+      (S.default_spec ~sys:(S.Cheap 1)) with
+      S.seed = 46;
+      clients = 2;
+      ops_per_client = 40;
+      think = 2e-3;
+      mk_ops = (fun ~client_idx:_ seq -> Cp_workload.Workload.counter_ops ~count:40 seq);
+      faults = [ (0.02, Faults.Crash 1); (0.25, Faults.Restart 1) ];
+      deadline = 10.;
+    }
+  in
+  let f1 = S.run failover_spec in
+  let f2 = S.run failover_spec in
+  let chrome1 = Timeline.to_chrome (S.trace f1) in
+  let chrome2 = Timeline.to_chrome (S.trace f2) in
+  let deterministic = String.equal chrome1 chrome2 in
+  let windows = Timeline.engagement_windows ~auxes:(S.aux_ids f1) (S.trace f1) in
+  let engaged_ok =
+    f1.S.finished
+    && List.exists
+         (fun (w : Timeline.engagement) -> w.Timeline.quiesced_at <> None && w.Timeline.aux_msgs > 0)
+         windows
+  in
+  let ring_dropped = Cp_runtime.Inspect.ring_drops steady.S.cluster in
+  let span_dropped =
+    Cp_runtime.Cluster.sum_metric steady.S.cluster ~ids:(S.main_ids steady) "span_dropped"
+  in
+  let opt_f = function Some t -> Printf.sprintf "%.6f" t | None -> "null" in
+  let engagement_json (w : Timeline.engagement) =
+    Printf.sprintf
+      "    {\"started_at\":%.6f,\"engaged_at\":%.6f,\"engaged_instance\":%d,\
+       \"elected_at\":%s,\"quiesced_at\":%s,\"msgs_engage\":%d,\"bytes_engage\":%d,\
+       \"msgs_settle\":%d,\"bytes_settle\":%d,\"aux_msgs\":%d,\"aux_bytes\":%d}"
+      w.Timeline.started_at w.Timeline.engaged_at w.Timeline.engaged_instance
+      (opt_f w.Timeline.elected_at) (opt_f w.Timeline.quiesced_at) w.Timeline.msgs_engage
+      w.Timeline.bytes_engage w.Timeline.msgs_settle w.Timeline.bytes_settle
+      w.Timeline.aux_msgs w.Timeline.aux_bytes
+  in
+  let duty_json (id, d) = Printf.sprintf "{\"node\":%d,\"duty\":%.6f}" id d in
+  let oc = open_out "BENCH_trace.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc
+    "  \"overhead\": {\"pairs\": %d, \"ops\": %d, \"obs_off_s\": %.6f, \"obs_on_s\": \
+     %.6f, \"obs_off_tput\": %.1f, \"obs_on_tput\": %.1f, \"ratio\": %.4f, \"pass\": %b},\n"
+    pairs total_ops !best_off !best_on tput_off tput_on overhead_ratio overhead_ok;
+  Printf.fprintf oc
+    "  \"duty_cycle\": {\"window\": [%.6f, %.6f], \"aux\": [%s], \"mains\": [%s], \
+     \"max_aux_duty\": %.6f, \"max_main_duty\": %.6f, \"pass\": %b},\n"
+    t0 t1
+    (String.concat ", " (List.map duty_json aux_duties))
+    (String.concat ", " (List.map duty_json main_duties))
+    max_aux_duty max_main_duty duty_ok;
+  Printf.fprintf oc "  \"engagement_windows\": [\n%s\n  ],\n"
+    (String.concat ",\n" (List.map engagement_json windows));
+  Printf.fprintf oc "  \"engagement_ok\": %b,\n" engaged_ok;
+  Printf.fprintf oc "  \"chrome_deterministic\": %b,\n" deterministic;
+  Printf.fprintf oc "  \"chrome_bytes\": %d,\n" (String.length chrome1);
+  Printf.fprintf oc "  \"ring_dropped\": [%s],\n"
+    (String.concat ", "
+       (List.map (fun (id, n) -> Printf.sprintf "{\"node\":%d,\"dropped\":%d}" id n)
+          ring_dropped));
+  Printf.fprintf oc "  \"span_dropped\": %d\n" span_dropped;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  let oc = open_out "BENCH_trace_chrome.json" in
+  output_string oc chrome1;
+  close_out oc;
+  let ok = overhead_ok && duty_ok && deterministic && engaged_ok in
+  Printf.printf
+    "wrote BENCH_trace.json (obs on/off tput ratio %.3f, max aux duty %.4f vs main \
+     %.4f, %d engagement window(s), chrome deterministic: %b) and \
+     BENCH_trace_chrome.json (%d bytes) -- %s\n"
+    overhead_ratio max_aux_duty max_main_duty (List.length windows) deterministic
+    (String.length chrome1)
+    (if ok then "PASS" else "FAIL");
+  ok
+
 let () =
   Printf.printf "Cheap Paxos evaluation%s\n" (if quick then " (quick mode)" else "");
   let outcomes = Cp_harness.Experiments.run_all ~quick () in
@@ -471,8 +618,9 @@ let () =
   write_obs_snapshot ();
   let batch_ok = write_batch_snapshot () in
   let reads_ok = write_reads_snapshot () in
+  let trace_ok = write_trace_snapshot () in
   run_microbenches ();
-  if Cp_harness.Outcome.all_pass outcomes && batch_ok && reads_ok then
+  if Cp_harness.Outcome.all_pass outcomes && batch_ok && reads_ok && trace_ok then
     print_endline "\nALL CLAIMS REPRODUCED"
   else begin
     print_endline "\nSOME CLAIMS FAILED";

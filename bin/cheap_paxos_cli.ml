@@ -69,7 +69,8 @@ let experiments_cmd =
           Stdlib.exit (run_experiments quick (List.map String.lowercase_ascii only) csv))
       $ quick_flag $ only_arg $ csv_arg)
 
-let run_demo seed trace trace_jsonl batch pipeline linger read_ratio lease gap_threshold =
+let run_demo seed trace trace_jsonl trace_chrome batch pipeline linger read_ratio lease
+    gap_threshold =
   let module Cluster = Cp_runtime.Cluster in
   let module Faults = Cp_runtime.Faults in
   let initial = Cheap_paxos.Cheap.initial_config ~f:1 in
@@ -116,6 +117,16 @@ let run_demo seed trace trace_jsonl batch pipeline linger read_ratio lease gap_t
     output_string oc (Cp_obs.Trace.to_jsonl records);
     close_out oc;
     Printf.printf "wrote %d trace records to %s\n" (List.length records) path);
+  (match trace_chrome with
+  | None -> ()
+  | Some path ->
+    let records = Cp_runtime.Inspect.trace_dump cluster in
+    let oc = open_out path in
+    output_string oc (Cp_obs.Timeline.to_chrome records);
+    close_out oc;
+    Printf.printf
+      "wrote Chrome trace for %d records to %s (load at https://ui.perfetto.dev)\n"
+      (List.length records) path);
   (match Cp_runtime.Inspect.check_safety cluster with
   | Ok () -> print_endline "safety: OK"
   | Error e -> Printf.printf "safety: VIOLATION: %s\n" e);
@@ -133,6 +144,16 @@ let demo_cmd =
       & opt (some string) None
       & info [ "trace-jsonl" ] ~docv:"FILE"
           ~doc:"Dump the merged cluster event trace to $(docv) as JSON lines.")
+  in
+  let trace_chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-chrome" ] ~docv:"FILE"
+          ~doc:
+            "Export the merged cluster event trace to $(docv) as Chrome trace-event \
+             JSON (one lane per node, one async span per causal chain); load it at \
+             ui.perfetto.dev or chrome://tracing.")
   in
   let batch =
     Arg.(
@@ -180,9 +201,9 @@ let demo_cmd =
   in
   Cmd.v (Cmd.info "demo" ~doc)
     Term.(
-      const (fun s t j b p l r le g -> Stdlib.exit (run_demo s t j b p l r le g))
-      $ seed $ trace $ trace_jsonl $ batch $ pipeline $ linger $ read_ratio $ lease
-      $ gap_threshold)
+      const (fun s t j c b p l r le g -> Stdlib.exit (run_demo s t j c b p l r le g))
+      $ seed $ trace $ trace_jsonl $ trace_chrome $ batch $ pipeline $ linger
+      $ read_ratio $ lease $ gap_threshold)
 
 (* ------------------------------------------------------------------ *)
 (* Real multi-process cluster: `node` runs one machine over UDP,      *)
@@ -200,7 +221,7 @@ let base_port_arg =
 let f_arg =
   Arg.(value & opt int 1 & info [ "f" ] ~docv:"F" ~doc:"Fault tolerance (f+1 mains, f auxes).")
 
-let run_node id f base_port =
+let run_node id f base_port admin_port =
   let initial = Cheap_paxos.Cheap.initial_config ~f in
   let universe_mains = List.init (f + 1) Fun.id in
   let universe_auxes = List.init f (fun i -> f + 1 + i) in
@@ -213,7 +234,7 @@ let run_node id f base_port =
     end
   in
   let node =
-    Cp_netio.Node.create
+    Cp_netio.Node.create ?admin_port
       ~port_of:(fun i -> base_port + i)
       ~id_of_port:(fun p -> p - base_port)
       ~id ~seed:(Unix.getpid ())
@@ -226,9 +247,12 @@ let run_node id f base_port =
         Cp_engine.Replica.handlers r)
       ()
   in
-  Printf.printf "machine %d (%s) serving on udp/127.0.0.1:%d — ctrl-c to stop\n%!" id
+  Printf.printf "machine %d (%s) serving on udp/127.0.0.1:%d%s — ctrl-c to stop\n%!" id
     (match role with Cp_engine.Replica.Main -> "main" | Aux -> "auxiliary")
-    (base_port + id);
+    (base_port + id)
+    (match admin_port with
+    | Some p -> Printf.sprintf ", admin http on tcp/127.0.0.1:%d" p
+    | None -> "");
   let rec forever () =
     Cp_netio.Node.run_for node 3600.;
     forever ()
@@ -238,8 +262,20 @@ let run_node id f base_port =
 let node_cmd =
   let doc = "Run one machine of a real UDP cluster (replicated KV store)." in
   let id = Arg.(required & opt (some int) None & info [ "id" ] ~docv:"ID" ~doc:"Machine id.") in
+  let admin_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "admin-port" ] ~docv:"PORT"
+          ~doc:
+            "Also serve a plain-HTTP admin endpoint on tcp/$(docv): GET /healthz, \
+             /metrics (Prometheus text, including the pipeline profiler), and \
+             /timeline (this node's event ring as Chrome trace-event JSON).")
+  in
   Cmd.v (Cmd.info "node" ~doc)
-    Term.(const (fun id f bp -> run_node id f bp) $ id $ f_arg $ base_port_arg)
+    Term.(
+      const (fun id f bp ap -> run_node id f bp ap)
+      $ id $ f_arg $ base_port_arg $ admin_port)
 
 let run_client_op f base_port op =
   let universe_mains = List.init (f + 1) Fun.id in

@@ -46,6 +46,17 @@ let classify = function
   | Span_executed _ -> "span_executed"
   | Span_reset -> "span_reset"
 
+(* Coarse profiler stage per effect class; the interpreter charges each
+   effect's execution time to one of these (see {!Cp_obs.Prof}). *)
+let stage = function
+  | Send _ -> "exec_send"
+  | Persist_acceptor _ | Persist_log _ | Persist_snapshot _ | Drop_log _ ->
+    "exec_persist"
+  | Set_timer _ -> "exec_timer"
+  | Emit _ -> "exec_emit"
+  | Metric _ | Observe _ -> "exec_metric"
+  | Span_submitted _ | Span_chosen _ | Span_executed _ | Span_reset -> "exec_span"
+
 let pp ppf = function
   | Send (dst, msg) -> Format.fprintf ppf "send(%d,%a)" dst Types.pp_msg msg
   | Persist_acceptor (_, votes, floor) ->

@@ -21,6 +21,8 @@ type t = {
   session_window : int;
   pipeline_window : int;
   queue_limit : int;
+  profile : bool;
+  span_ttl : float;
 }
 
 let default =
@@ -47,6 +49,8 @@ let default =
     session_window = 1024;
     pipeline_window = 32;
     queue_limit = 4096;
+    profile = true;
+    span_ttl = 10.;
   }
 
 let scale k t =
@@ -63,4 +67,5 @@ let scale k t =
     client_timeout = t.client_timeout *. k;
     lease_guard = t.lease_guard *. k;
     batch_linger = t.batch_linger *. k;
+    span_ttl = t.span_ttl *. k;
   }

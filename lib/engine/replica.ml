@@ -19,6 +19,8 @@ type t = {
   core : State.t;
   ctx : Types.msg Engine.ctx;
   spans : Obs.Span.t; (* leader-side submit→chosen→executed latency spans *)
+  prof : Obs.Prof.t; (* pipeline profiler: step + per-effect-class timings *)
+  span_ttl : float; (* expire open spans older than this (shed/dedup leaks) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -43,7 +45,12 @@ let interpret_one t (eff : Effect.t) =
   | Effect.Span_executed { instance; at } -> Obs.Span.executed t.spans ~instance ~at
   | Effect.Span_reset -> Obs.Span.reset t.spans
 
-let interpret t effects = List.iter (interpret_one t) effects
+let interpret t effects =
+  if Obs.Prof.enabled t.prof then
+    List.iter
+      (fun eff -> Obs.Prof.time t.prof (Effect.stage eff) (fun () -> interpret_one t eff))
+      effects
+  else List.iter (interpret_one t) effects
 
 (* ------------------------------------------------------------------ *)
 (* Construction: read the recovery image, build the core               *)
@@ -81,12 +88,21 @@ let create ctx ~role ~policy ~params ~initial ~universe_mains ~universe_auxes ~a
     Core.create ~self:ctx.Engine.self ~now:(ctx.Engine.now ()) ~rng:ctx.Engine.rng ~role
       ~policy ~params ~initial ~universe_mains ~universe_auxes ~app ~recovery
   in
+  let prof =
+    if params.Params.profile then
+      Obs.Prof.create ~clock:ctx.Engine.now
+        ~count:(fun name by -> Metrics.incr ctx.Engine.metrics ~by name)
+        ()
+    else Obs.Prof.disabled
+  in
   let t =
     {
       core;
       ctx;
       spans =
         Obs.Span.create ~observe:(fun name v -> Metrics.observe ctx.Engine.metrics name v);
+      prof;
+      span_ttl = params.Params.span_ttl;
     }
   in
   interpret t effects;
@@ -94,12 +110,22 @@ let create ctx ~role ~policy ~params ~initial ~universe_mains ~universe_auxes ~a
 
 let handlers t =
   let on_message ~src msg =
-    let _, effects = Core.step t.core ~now:(t.ctx.Engine.now ()) (Core.Deliver { src; msg }) in
+    let now = t.ctx.Engine.now () in
+    let _, effects =
+      Obs.Prof.time t.prof "step" (fun () -> Core.step t.core ~now (Core.Deliver { src; msg }))
+    in
     interpret t effects
   in
   let on_timer ~tid:_ ~tag =
-    let _, effects = Core.step t.core ~now:(t.ctx.Engine.now ()) (Core.Timer { tag }) in
-    interpret t effects
+    let now = t.ctx.Engine.now () in
+    let _, effects =
+      Obs.Prof.time t.prof "step" (fun () -> Core.step t.core ~now (Core.Timer { tag }))
+    in
+    interpret t effects;
+    (* Age out latency spans whose command was shed or deduplicated and so
+       will never close; rate-limited inside [expire]. *)
+    let dropped = Obs.Span.expire t.spans ~now ~ttl:t.span_ttl in
+    if dropped > 0 then Metrics.incr t.ctx.Engine.metrics ~by:dropped "span_dropped"
   in
   { Engine.on_message; on_timer }
 

@@ -14,7 +14,7 @@ module Rng = Cp_util.Rng
 (* Merge every node's ring into one deterministic stream. [Obs.Trace.merge]
    is stable over the (hash-ordered) node list, so instead sort explicitly
    by (time, node, per-node emission index) — total and version-independent. *)
-let canonical_dump cluster =
+let canonical_records cluster =
   let eng = Cluster.engine cluster in
   let tagged =
     List.concat_map
@@ -29,7 +29,9 @@ let canonical_dump cluster =
       (fun (a1, n1, i1, _) (a2, n2, i2, _) -> compare (a1, n1, i1) (a2, n2, i2))
       tagged
   in
-  Cp_obs.Trace.to_jsonl (List.map (fun (_, _, _, r) -> r) sorted)
+  List.map (fun (_, _, _, r) -> r) sorted
+
+let canonical_dump cluster = Cp_obs.Trace.to_jsonl (canonical_records cluster)
 
 type case = { name : string; spec : Scenario.spec }
 
@@ -115,4 +117,13 @@ let cases = [ failover_batch; lease_reads; partition_heal ]
 
 let dump_case case = canonical_dump (Scenario.run case.spec).Scenario.cluster
 
+(* The same canonical record stream as Chrome trace-event JSON — the
+   Perfetto-loadable artifact. Committed for [failover_batch] only (one
+   snapshot pins the exporter's format; three would pin the same code
+   thrice). *)
+let dump_chrome case =
+  Cp_obs.Timeline.to_chrome (canonical_records (Scenario.run case.spec).Scenario.cluster)
+
 let file_of case = "golden/" ^ case.name ^ ".trace"
+
+let chrome_file_of case = "golden/" ^ case.name ^ ".chrome"

@@ -21,6 +21,7 @@ type spec = {
   deadline : float;
   spare_mains : int;
   proc_time : float option;
+  obs : bool;
 }
 
 let default_spec ~sys =
@@ -39,6 +40,7 @@ let default_spec ~sys =
     deadline = 10.;
     spare_mains = 0;
     proc_time = None;
+    obs = true;
   }
 
 type result = {
@@ -57,8 +59,8 @@ let run spec =
   let policy, initial = policy_and_config spec.sys in
   let cluster =
     Cluster.create ~seed:spec.seed ~net:spec.net ~params:spec.params
-      ?proc_time:spec.proc_time ~spare_mains:spec.spare_mains ~policy ~initial
-      ~app:spec.app ()
+      ?proc_time:spec.proc_time ~spare_mains:spec.spare_mains ~obs:spec.obs ~policy
+      ~initial ~app:spec.app ()
   in
   Faults.schedule cluster spec.faults;
   let client_handles =

@@ -26,6 +26,10 @@ type spec = {
   deadline : float;
   spare_mains : int;
   proc_time : float option;  (** per-message CPU cost; None = infinite capacity *)
+  obs : bool;
+      (** tracing on (default): event rings + causal trace ids. [false]
+          runs the identical simulation without recording — the bench's
+          obs-overhead baseline. *)
 }
 
 val default_spec : sys:sys -> spec

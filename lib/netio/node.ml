@@ -25,7 +25,9 @@ type t = {
   start : float;
   metrics : Cp_sim.Metrics.t;
   trace_ : Obs.Trace.t;
+  tctx : Obs.Traceid.t; (* ambient causal trace id; guarded by [lock] *)
   scratch : Codec.scratch; (* guarded by [lock]; senders hold it already *)
+  admin_sock : Unix.file_descr option; (* TCP listener for /metrics etc. *)
 }
 
 let now t = Unix.gettimeofday () -. t.start
@@ -34,8 +36,26 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+(* Record into the node's ring, stamped with the ambient trace id; count
+   overwrites of unread records so ring loss is observable. Lock required
+   (every caller — handlers, receive loop, timer loop — already holds it). *)
+let emit_ev t ev =
+  let tid = Obs.Traceid.current t.tctx in
+  let dropped0 = Obs.Trace.dropped t.trace_ in
+  Obs.Trace.emit ~tid t.trace_ ~at:(now t) ~node:t.id ev;
+  if Obs.Trace.dropped t.trace_ > dropped0 then
+    Cp_sim.Metrics.incr t.metrics "ring_dropped"
+
 let send t dst msg =
-  let payload = Codec.encode_with t.scratch msg in
+  (* Client submissions start a fresh causal chain; everything else carries
+     the chain of the event being handled. The id rides the wire as a
+     traced-frame suffix (see {!Cp_proto.Codec.encode_traced}). *)
+  let tid =
+    match Types.classify msg with
+    | "client_req" | "client_read" -> Obs.Traceid.mint t.tctx
+    | _ -> Obs.Traceid.current t.tctx
+  in
+  let payload = Codec.encode_traced_with t.scratch ~tid msg in
   Cp_sim.Metrics.incr t.metrics "msgs_sent";
   Cp_sim.Metrics.incr t.metrics ~by:(String.length payload) "bytes_sent";
   Cp_sim.Metrics.incr t.metrics ~by:(String.length payload) "encoded_bytes";
@@ -74,7 +94,7 @@ let guard t ~where f =
   try f ()
   with exn ->
     Cp_sim.Metrics.incr t.metrics "handler_errors";
-    Obs.Trace.emit t.trace_ ~at:(now t) ~node:t.id
+    emit_ev t
       (Obs.Event.Debug (Printf.sprintf "%s raised: %s" where (Printexc.to_string exn)))
 
 let timer_loop t =
@@ -96,6 +116,8 @@ let timer_loop t =
         if not timer.cancelled then begin
           match t.handlers with
           | Some h ->
+            (* A timer step starts a fresh causal chain, as in the sim. *)
+            ignore (Obs.Traceid.mint t.tctx);
             guard t ~where:(Printf.sprintf "on_timer %S" timer.tag) (fun () ->
                 h.Engine.on_timer ~tid:timer.tid ~tag:timer.tag)
           | None -> ()
@@ -116,9 +138,14 @@ let recv_loop t =
       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> loop ()
       | exception Unix.Unix_error _ -> loop ()
       | len, peer ->
-        (match Codec.decode (Bytes.sub_string buf 0 len) with
+        (* Decode outside the lock (it touches no shared state); charge the
+           duration to the "decode" profiler stage once inside. *)
+        let d0 = Unix.gettimeofday () in
+        let decoded = Codec.decode_traced (Bytes.sub_string buf 0 len) in
+        let decode_ns = int_of_float ((Unix.gettimeofday () -. d0) *. 1e9) in
+        (match decoded with
         | Error _ -> () (* junk datagram: drop *)
-        | Ok msg ->
+        | Ok (msg, trace) ->
           Mutex.lock t.lock;
           Fun.protect
             ~finally:(fun () -> Mutex.unlock t.lock)
@@ -131,7 +158,7 @@ let recv_loop t =
                   try Some (t.id_of_port port)
                   with exn ->
                     Cp_sim.Metrics.incr t.metrics "handler_errors";
-                    Obs.Trace.emit t.trace_ ~at:(now t) ~node:t.id
+                    emit_ev t
                       (Obs.Event.Debug
                          (Printf.sprintf "id_of_port %d raised: %s" port
                             (Printexc.to_string exn)));
@@ -142,11 +169,15 @@ let recv_loop t =
               | None -> () (* unknown peer: drop *)
               | Some src -> (
                 let kind = Types.classify msg in
+                Cp_sim.Metrics.incr t.metrics ~by:decode_ns "prof.decode.ns";
+                Cp_sim.Metrics.incr t.metrics "prof.decode.n";
                 Cp_sim.Metrics.incr t.metrics "msgs_recv";
                 Cp_sim.Metrics.incr t.metrics ~by:len "bytes_recv";
                 Cp_sim.Metrics.incr t.metrics ("recv." ^ kind);
-                Obs.Trace.emit t.trace_ ~at:(now t) ~node:t.id
-                  (Obs.Event.Msg_recv { src; kind });
+                (* Everything the handler emits/sends continues the
+                   datagram's causal chain. *)
+                Obs.Traceid.adopt t.tctx trace;
+                emit_ev t (Obs.Event.Msg_recv { src; kind; bytes = len });
                 match t.handlers with
                 | Some h ->
                   guard t ~where:("on_message " ^ kind) (fun () ->
@@ -157,13 +188,69 @@ let recv_loop t =
   in
   loop ()
 
-let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity) ~port_of
-    ~id_of_port ~id ~seed ~build () =
+let metrics_text t =
+  let snap = with_lock t (fun () -> Cp_sim.Metrics.snapshot t.metrics) in
+  Obs.Prom.render ~counters:snap.Cp_sim.Metrics.counters
+    ~summaries:snap.Cp_sim.Metrics.summaries ()
+  ^ Obs.Prof.render snap.Cp_sim.Metrics.counters
+
+(* --- admin endpoint ---------------------------------------------------- *)
+
+let admin_response t path =
+  match path with
+  | "/healthz" -> (200, "text/plain", Printf.sprintf "ok node=%d uptime=%.3fs\n" t.id (now t))
+  | "/metrics" -> (200, "text/plain", metrics_text t)
+  | "/timeline" ->
+    let records = with_lock t (fun () -> Obs.Trace.records t.trace_) in
+    (200, "application/json", Obs.Timeline.to_chrome records)
+  | _ -> (404, "text/plain", "not found\n")
+
+(* Minimal HTTP/1.0 server for scrapes and debugging: one request per
+   connection, GET only, served inline on the accept thread. The listener
+   carries a receive timeout so accept wakes to observe [stopping]. *)
+let admin_loop t sock =
+  while not t.stopping do
+    match Unix.accept sock with
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | EBADF), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+    | client, _peer ->
+      (try
+         let buf = Bytes.create 2048 in
+         let n = try Unix.recv client buf 0 (Bytes.length buf) [] with _ -> 0 in
+         let req = if n > 0 then Bytes.sub_string buf 0 n else "" in
+         let path =
+           match String.split_on_char ' ' req with _ :: p :: _ -> p | _ -> "/"
+         in
+         let code, ctype, body = admin_response t path in
+         let status = if code = 200 then "200 OK" else "404 Not Found" in
+         let resp =
+           Printf.sprintf
+             "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+             status ctype (String.length body) body
+         in
+         ignore (Unix.write_substring client resp 0 (String.length resp))
+       with _ -> ());
+      (try Unix.close client with Unix.Unix_error _ -> ())
+  done
+
+let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity)
+    ?admin_port ~port_of ~id_of_port ~id ~seed ~build () =
   let inet = Unix.inet_addr_of_string host in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.setsockopt_float sock Unix.SO_RCVTIMEO 0.05;
   Unix.bind sock (Unix.ADDR_INET (inet, port_of id));
+  let admin_sock =
+    match admin_port with
+    | None -> None
+    | Some port ->
+      let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt s Unix.SO_REUSEADDR true;
+      Unix.setsockopt_float s Unix.SO_RCVTIMEO 0.05;
+      Unix.bind s (Unix.ADDR_INET (inet, port));
+      Unix.listen s 8;
+      Some s
+  in
   let t =
     {
       id;
@@ -180,7 +267,9 @@ let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity) 
       start = Unix.gettimeofday ();
       metrics = Cp_sim.Metrics.create ();
       trace_ = Obs.Trace.create ~capacity:trace_capacity ();
+      tctx = Obs.Traceid.create ~origin:id;
       scratch = Codec.create_scratch ();
+      admin_sock;
     }
   in
   let ctx =
@@ -194,13 +283,17 @@ let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity) 
       rng = Cp_util.Rng.create ((seed * 1009) + id);
       stable = Cp_sim.Stable.create ();
       metrics = t.metrics;
-      emit = (fun ev -> Obs.Trace.emit t.trace_ ~at:(now t) ~node:id ev);
+      emit = (fun ev -> emit_ev t ev);
     }
   in
   Mutex.lock t.lock;
   t.handlers <- Some (build ctx);
   Mutex.unlock t.lock;
-  t.threads <- [ Thread.create timer_loop t; Thread.create recv_loop t ];
+  t.threads <-
+    [ Thread.create timer_loop t; Thread.create recv_loop t ]
+    @ (match t.admin_sock with
+      | Some s -> [ Thread.create (admin_loop t) s ]
+      | None -> []);
   t
 
 let run_for _t seconds = Thread.delay seconds
@@ -209,11 +302,6 @@ let metrics t = t.metrics
 
 let trace t = t.trace_
 
-let metrics_text t =
-  let snap = with_lock t (fun () -> Cp_sim.Metrics.snapshot t.metrics) in
-  Obs.Prom.render ~counters:snap.Cp_sim.Metrics.counters
-    ~summaries:snap.Cp_sim.Metrics.summaries ()
-
 let shutdown t =
   if not t.stopping then begin
     Mutex.lock t.lock;
@@ -221,7 +309,11 @@ let shutdown t =
     Condition.signal t.cond;
     Mutex.unlock t.lock;
     (* Receiver notices [stopping] within its receive timeout; timer thread
-       within its sleep slice. Close only after both have exited. *)
+       within its sleep slice; admin thread within its accept timeout.
+       Close only after all have exited. *)
     List.iter (fun th -> try Thread.join th with _ -> ()) t.threads;
+    (match t.admin_sock with
+    | Some s -> ( try Unix.close s with Unix.Unix_error _ -> ())
+    | None -> ());
     try Unix.close t.sock with Unix.Unix_error _ -> ()
   end

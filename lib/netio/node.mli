@@ -20,6 +20,7 @@ type t
 val create :
   ?host:string ->
   ?trace_capacity:int ->
+  ?admin_port:int ->
   port_of:(int -> int) ->
   id_of_port:(int -> int) ->
   id:int ->
@@ -33,7 +34,14 @@ val create :
     field). [build] receives the fabricated [ctx]; its stable storage is
     in-memory (per-process), its RNG is seeded from [seed] and [id], its
     [emit] records into a bounded per-node trace ring of [trace_capacity]
-    entries (default {!Cp_obs.Trace.default_capacity}). *)
+    entries (default {!Cp_obs.Trace.default_capacity}).
+
+    Outgoing frames carry the node's ambient causal trace id as a traced
+    suffix ({!Cp_proto.Codec.encode_traced}); incoming frames' ids are
+    adopted before the handler runs, so chains propagate across machines
+    exactly as in the simulator. [admin_port], when given, additionally
+    binds a TCP listener on [host:admin_port] serving a minimal HTTP
+    endpoint — see {!admin_response}. *)
 
 val run_for : t -> float -> unit
 (** Block the calling thread for that many wall-clock seconds while the
@@ -59,4 +67,12 @@ val trace : t -> Cp_obs.Trace.t
 val metrics_text : t -> string
 (** Prometheus text-exposition snapshot of {!metrics}: every counter as a
     [counter] sample and every observation series as a summary with
-    p50/p90/p99 quantiles. Taken under the node's lock. *)
+    p50/p90/p99 quantiles, followed by the pipeline-profile comment block
+    ({!Cp_obs.Prof.render}). Taken under the node's lock. *)
+
+val admin_response : t -> string -> int * string * string
+(** [(status, content_type, body)] for an admin request path — the pure
+    half of the admin HTTP endpoint, exposed for tests:
+    ["/healthz"] liveness, ["/metrics"] = {!metrics_text},
+    ["/timeline"] the node's ring as Chrome trace-event JSON
+    ({!Cp_obs.Timeline.to_chrome}); anything else is a 404. *)

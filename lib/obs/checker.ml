@@ -18,7 +18,7 @@ let aux_quiescent ?after ?before ~auxes records =
   | None -> Ok ()
   | Some r ->
     (match r.Trace.ev with
-    | Event.Msg_recv { src; kind } ->
+    | Event.Msg_recv { src; kind; _ } ->
       err "aux %d received %s from %d at %.4fs (expected quiescence)" r.Trace.node kind
         src r.Trace.at
     | _ -> assert false)

@@ -18,7 +18,7 @@ type t =
   | Lease_acquired of { round : int }
   | Lease_lost of { reason : string }
   | Lease_read_served of { client : int; seq : int; upto : int }
-  | Msg_recv of { src : int; kind : string }
+  | Msg_recv of { src : int; kind : string; bytes : int }
   | Crashed
   | Restarted
   | Debug of string
@@ -71,7 +71,8 @@ let fields = function
   | Lease_lost { reason } -> [ ("reason", `S reason) ]
   | Lease_read_served { client; seq; upto } ->
     [ ("client", `I client); ("seq", `I seq); ("upto", `I upto) ]
-  | Msg_recv { src; kind } -> [ ("src", `I src); ("kind", `S kind) ]
+  | Msg_recv { src; kind; bytes } ->
+    [ ("src", `I src); ("kind", `S kind); ("bytes", `I bytes) ]
   | Crashed | Restarted -> []
   | Debug line -> [ ("line", `S line) ]
 
@@ -154,7 +155,10 @@ let of_fields ~kind fs =
   | "msg_recv" ->
     let* src = int_field fs "src" in
     let* kind = str_field fs "kind" in
-    Ok (Msg_recv { src; kind })
+    (* "bytes" is tolerated missing so dumps from before the tracing layer
+       still load. *)
+    let bytes = match int_field fs "bytes" with Ok b -> b | Error _ -> 0 in
+    Ok (Msg_recv { src; kind; bytes })
   | "crashed" -> Ok Crashed
   | "restarted" -> Ok Restarted
   | "debug" ->

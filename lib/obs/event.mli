@@ -43,7 +43,7 @@ type t =
           is the serving node's executed-prefix pointer (first unexecuted
           instance) at serve time — the no-stale-read checker compares it
           against other nodes' execution progress *)
-  | Msg_recv of { src : int; kind : string }
+  | Msg_recv of { src : int; kind : string; bytes : int }
   | Crashed
   | Restarted
   | Debug of string  (** free-form trace line (the old [trace] hook) *)

@@ -11,10 +11,11 @@ type t = {
   submits : (int * int, float) Hashtbl.t; (* (client, seq) -> submit time *)
   chosen_ : (int, float * float list) Hashtbl.t;
       (* instance -> (chosen time, submit times of its commands) *)
+  mutable last_expire : float; (* rate-limits the [expire] scan *)
 }
 
 let create ~observe =
-  { observe; submits = Hashtbl.create 64; chosen_ = Hashtbl.create 64 }
+  { observe; submits = Hashtbl.create 64; chosen_ = Hashtbl.create 64; last_expire = 0. }
 
 let submitted t ~client ~seq ~at =
   if not (Hashtbl.mem t.submits (client, seq)) then
@@ -43,6 +44,30 @@ let executed t ~instance ~at =
     List.iter (fun t0 -> t.observe submit_to_executed (at -. t0)) starts
 
 let pending t = Hashtbl.length t.submits + Hashtbl.length t.chosen_
+
+(* Commands shed from the proposal queue (backpressure) or dropped by the
+   dedup check never reach [chosen], so their submit entries would pile up
+   forever under sustained overload; same for a chosen instance whose
+   execution the leader never witnesses. Age them out. The scan is O(open
+   spans) and rate-limited to once per [ttl /. 4] so calling it from every
+   tick is free. *)
+let expire t ~now ~ttl =
+  if now -. t.last_expire < ttl /. 4. then 0
+  else begin
+    t.last_expire <- now;
+    let cutoff = now -. ttl in
+    let stale_submits =
+      Hashtbl.fold (fun k at acc -> if at < cutoff then k :: acc else acc) t.submits []
+    in
+    List.iter (Hashtbl.remove t.submits) stale_submits;
+    let stale_chosen =
+      Hashtbl.fold
+        (fun k (at, _) acc -> if at < cutoff then k :: acc else acc)
+        t.chosen_ []
+    in
+    List.iter (Hashtbl.remove t.chosen_) stale_chosen;
+    List.length stale_submits + List.length stale_chosen
+  end
 
 let reset t =
   Hashtbl.reset t.submits;

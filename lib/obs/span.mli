@@ -25,6 +25,14 @@ val executed : t -> instance:int -> at:float -> unit
 val pending : t -> int
 (** Spans started but not yet fully closed (leak detector for tests). *)
 
+val expire : t -> now:float -> ttl:float -> int
+(** Drop open spans older than [ttl] — commands shed by queue backpressure
+    or the dedup check never reach [chosen]/[executed] and would otherwise
+    leak. Returns how many entries were dropped (the caller counts them as
+    the [span_dropped] metric). Rate-limited internally: calls within
+    [ttl / 4] of the previous scan return 0 without scanning, so it is safe
+    to invoke on every tick. *)
+
 val reset : t -> unit
 (** Drop all open spans — on leadership change, half-open spans from the
     old term would otherwise leak. *)

@@ -7,7 +7,9 @@
     how much history was overwritten, and checkers that need full history
     can refuse truncated traces. *)
 
-type record = { at : float; node : int; ev : Event.t }
+type record = { at : float; node : int; tid : int; ev : Event.t }
+(** [tid] is the trace id ({!Traceid}) of the causal chain the record
+    belongs to; 0 = untraced. *)
 
 type t
 
@@ -16,7 +18,8 @@ val default_capacity : int
 
 val create : ?capacity:int -> unit -> t
 
-val emit : t -> at:float -> node:int -> Event.t -> unit
+val emit : ?tid:int -> t -> at:float -> node:int -> Event.t -> unit
+(** [tid] defaults to 0 (untraced). *)
 
 val records : t -> record list
 (** Retained records, oldest first. *)

@@ -1,0 +1,46 @@
+(* Trace identifiers and the per-node ambient trace context.
+
+   A trace id correlates every event a single protocol instance / client
+   command causes across the cluster: the runtimes stamp the node's
+   *current* id onto each emitted record, copy it onto outgoing messages,
+   and adopt the id carried by an incoming message before running the
+   handler. The pure core never sees trace ids — propagation lives entirely
+   in the two runtimes (the simulator engine and the UDP node), which is
+   possible because both fabricate the same {!Cp_sim.Engine.ctx} and both
+   own the delivery path.
+
+   Ids are plain ints: [(origin + 1) lsl shift lor counter], so the minting
+   node is recoverable and ids from different nodes never collide. 0 is
+   reserved for "no trace". *)
+
+let none = 0
+
+let shift = 24
+
+let make ~origin ~n = ((origin + 1) lsl shift) lor (n land ((1 lsl shift) - 1))
+
+let origin_of tid = (tid lsr shift) - 1
+
+type t = {
+  origin : int;
+  mutable current : int; (* id stamped on emissions/sends; 0 = none *)
+  mutable minted : int; (* per-node counter; monotonic across restarts *)
+}
+
+let create ~origin = { origin; current = none; minted = 0 }
+
+let current t = t.current
+
+let set t tid = t.current <- tid
+
+let clear t = t.current <- none
+
+let mint t =
+  t.minted <- t.minted + 1;
+  let tid = make ~origin:t.origin ~n:t.minted in
+  t.current <- tid;
+  tid
+
+(* Entering a handler for a delivered message: continue the sender's trace,
+   or start a fresh one for untraced (e.g. old-format) messages. *)
+let adopt t tid = if tid <> none then t.current <- tid else ignore (mint t)

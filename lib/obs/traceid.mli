@@ -1,0 +1,40 @@
+(** Trace identifiers and the per-node ambient trace context.
+
+    A trace id is a plain [int] correlating every event one protocol
+    instance / client command causes across the cluster. The runtimes own
+    propagation: they stamp the node's {e current} id on emitted records,
+    copy it onto outgoing messages, and {!adopt} the id carried by an
+    incoming message before invoking the handler. [0] means "no trace". *)
+
+val none : int
+(** The null trace id (untraced record / old-format frame). *)
+
+val make : origin:int -> n:int -> int
+(** The [n]-th id minted by node [origin]; never 0, never collides across
+    origins (for [n] below 2{^24}). *)
+
+val origin_of : int -> int
+(** The node that minted an id made by {!make}. *)
+
+type t
+(** Mutable per-node context: the current id plus a mint counter. Owned by
+    the runtime; survives crash/restart of the node's protocol state. *)
+
+val create : origin:int -> t
+
+val current : t -> int
+(** The id to stamp on emissions and sends right now; {!none} if the node
+    is outside any traced causal chain. *)
+
+val mint : t -> int
+(** Start a fresh trace: bump the counter, set it current, return it. *)
+
+val adopt : t -> int -> unit
+(** Enter the causal chain of a delivered message: set its id current, or
+    mint a fresh one if the message was untraced ([none]). *)
+
+val set : t -> int -> unit
+
+val clear : t -> unit
+(** Back to {!none} — used on crash/restart so stale ids don't leak into
+    the next incarnation's records. *)

@@ -349,7 +349,10 @@ let read_snapshot s ~pos =
   let* pending_configs, pos = read_list read_iconfig s ~pos in
   Ok ({ Types.next_instance; app_state; sessions; base_config; pending_configs }, pos)
 
-let decode s =
+(* Parse one message from the head of [s]; returns the message and the
+   cursor past it. [decode] requires the cursor to land exactly on the end;
+   [decode_traced] allows a trace suffix after it. *)
+let decode_prefix s =
   let result =
     let* tag, pos = read_tag s ~pos:0 in
     match tag with
@@ -434,7 +437,50 @@ let decode s =
       Ok (Types.ClientRead { client; seq; op }, pos)
     | t -> Error (Printf.sprintf "msg: bad tag %d" t)
   in
-  match result with
-  | Error _ as e -> e
+  result
+
+let decode s =
+  match decode_prefix s with
+  | Error m -> Error m
   | Ok (msg, pos) ->
     if pos = String.length s then Ok msg else Error "msg: trailing bytes"
+
+(* --- trace suffix ----------------------------------------------------- *)
+
+(* A traced frame is a plain frame followed by a marker byte and a varint
+   trace id. The marker cannot begin a valid message (tags stop at 16), so
+   [decode_traced] is unambiguous; frames from senders that predate tracing
+   simply have no suffix and decode with trace id 0 ("untraced"). A zero
+   trace id encodes to no suffix at all, keeping traced and plain encoders
+   byte-identical in the untraced case. *)
+let trace_marker = '\xf5'
+
+let encode_traced_into buf ~tid msg =
+  encode_into buf msg;
+  if tid <> 0 then begin
+    Buffer.add_char buf trace_marker;
+    write_varint buf tid
+  end
+
+let encode_traced ~tid msg =
+  let buf = Buffer.create 64 in
+  encode_traced_into buf ~tid msg;
+  Buffer.contents buf
+
+let encode_traced_with (scratch : scratch) ~tid msg =
+  Buffer.clear scratch;
+  encode_traced_into scratch ~tid msg;
+  Buffer.contents scratch
+
+let decode_traced s =
+  match decode_prefix s with
+  | Error m -> Error m
+  | Ok (msg, pos) ->
+    let len = String.length s in
+    if pos = len then Ok (msg, 0)
+    else if s.[pos] = trace_marker then
+      match read_varint s ~pos:(pos + 1) with
+      | Error m -> Error m
+      | Ok (tid, pos') ->
+        if pos' = len then Ok (msg, tid) else Error "msg: trailing bytes"
+    else Error "msg: trailing bytes"

@@ -30,6 +30,23 @@ val create_scratch : ?size:int -> unit -> scratch
 val encode_with : scratch -> Types.msg -> string
 (** Equal output to [encode msg] for every message. *)
 
+(** {1 Traced frames}
+
+    A traced frame is a plain frame plus a trailing marker byte and a varint
+    trace id, so causal trace ids ride the existing wire format without a
+    version bump. [encode_traced ~tid:0] is byte-identical to [encode], and
+    {!decode_traced} accepts frames from senders that predate tracing
+    (no suffix decodes as trace id 0 = untraced). {!decode} continues to
+    reject the suffix as trailing bytes, so untraced receivers fail loudly
+    rather than mis-parse. *)
+
+val encode_traced : tid:int -> Types.msg -> string
+
+val encode_traced_with : scratch -> tid:int -> Types.msg -> string
+
+val decode_traced : string -> (Types.msg * int, string) result
+(** Returns the message and its trace id (0 when the frame has none). *)
+
 (** {1 Primitives} (exposed for tests and for app snapshot codecs) *)
 
 val write_varint : Buffer.t -> int -> unit

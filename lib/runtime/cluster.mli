@@ -14,6 +14,7 @@ val create :
   ?params:Cp_engine.Params.t ->
   ?proc_time:float ->
   ?spare_mains:int ->
+  ?obs:bool ->
   policy:Cp_engine.Policy.t ->
   initial:Config.t ->
   app:(module Appi.S) ->
@@ -25,7 +26,12 @@ val create :
     failure degrades the config — the paper's replacement machines.
     [proc_time] gives every machine a single CPU costing that many seconds
     per message sent or received (see {!Cp_sim.Engine.create}); omit it for
-    infinite capacity. *)
+    infinite capacity.
+
+    [obs] (default true) is passed to {!Cp_sim.Engine.create}: [false]
+    disables event rings and causal trace ids without perturbing the
+    simulation schedule. Client submissions are registered as fresh-trace
+    messages, so every command gets its own cross-node trace id. *)
 
 val engine : t -> Types.msg Cp_sim.Engine.t
 

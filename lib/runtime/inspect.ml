@@ -18,6 +18,12 @@ let dumps cluster =
 
 let trace_dump cluster = Obs.Trace.merge (Engine.traces (Cluster.engine cluster))
 
+let ring_drops cluster =
+  let eng = Cluster.engine cluster in
+  Engine.node_ids eng
+  |> List.map (fun id -> (id, Obs.Trace.dropped (Engine.trace eng id)))
+  |> List.filter (fun (_, n) -> n > 0)
+
 let aux_quiescent ?after ?before cluster =
   Obs.Checker.aux_quiescent ?after ?before ~auxes:(Cluster.auxes cluster)
     (trace_dump cluster)

@@ -11,6 +11,12 @@ val trace_dump : Cluster.t -> Cp_obs.Trace.record list
 (** Every node's event trace, merged and sorted by time — ready for
     {!Cp_obs.Checker} assertions or {!Cp_obs.Trace.to_jsonl}. *)
 
+val ring_drops : Cluster.t -> (int * int) list
+(** [(node, overwritten_records)] for every node whose bounded trace ring
+    wrapped — the nodes whose history in {!trace_dump} is incomplete.
+    Empty means the merged trace is lossless (what golden tests assert);
+    long benches legitimately wrap and report entries here. *)
+
 val aux_quiescent :
   ?after:float -> ?before:float -> Cluster.t -> (unit, string) result
 (** Assert that no auxiliary received any message in the window (defaults

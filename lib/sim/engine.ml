@@ -30,11 +30,12 @@ type 'm node = {
   node_stable : Stable.t;
   node_metrics : Metrics.t;
   node_trace : Obs.Trace.t;
+  node_tctx : Obs.Traceid.t; (* ambient trace id; survives restarts *)
   mutable ctx : 'm ctx option;
 }
 
 type 'm kind =
-  | Deliver of { src : int; dst : int; msg : 'm; size : int }
+  | Deliver of { src : int; dst : int; msg : 'm; size : int; trace : int }
   | Timer of { node : int; tid : int; tag : string; epoch : int }
   | Action of (unit -> unit)
 
@@ -54,6 +55,8 @@ type 'm t = {
   mutable reachable : int -> int -> bool;
   mutable processed : int;
   trace_capacity : int;
+  obs : bool; (* tracing on: rings, trace ids, hook; metrics stay on *)
+  fresh_trace : 'm -> bool; (* messages that start a new causal chain *)
   mutable event_hook : (Obs.Trace.record -> unit) option;
 }
 
@@ -62,7 +65,8 @@ let event_cmp (a : _ event) (b : _ event) =
   if c <> 0 then c else compare a.seq b.seq
 
 let create ?(seed = 1) ?(net = Netmodel.lan) ?proc_time
-    ?(trace_capacity = Obs.Trace.default_capacity) ~size_of ~classify () =
+    ?(trace_capacity = Obs.Trace.default_capacity) ?(obs = true)
+    ?(fresh_trace = fun _ -> false) ~size_of ~classify () =
   {
     time = 0.;
     seq = 0;
@@ -77,6 +81,8 @@ let create ?(seed = 1) ?(net = Netmodel.lan) ?proc_time
     reachable = (fun _ _ -> true);
     processed = 0;
     trace_capacity;
+    obs;
+    fresh_trace;
     event_hook = None;
   }
 
@@ -107,11 +113,20 @@ let trace t id = (find_node t id).node_trace
 let traces t =
   Hashtbl.fold (fun _ n acc -> n.node_trace :: acc) t.nodes []
 
+(* Tracing off = no rings, no trace ids, no hook; the run's event schedule
+   is untouched either way, so obs on/off runs stay step-for-step identical
+   (the basis of the obs-overhead bench gate). *)
 let emit_event t node ev =
-  Obs.Trace.emit node.node_trace ~at:t.time ~node:node.id ev;
-  match t.event_hook with
-  | Some f -> f { Obs.Trace.at = t.time; node = node.id; ev }
-  | None -> ()
+  if t.obs then begin
+    let tid = Obs.Traceid.current node.node_tctx in
+    let dropped0 = Obs.Trace.dropped node.node_trace in
+    Obs.Trace.emit ~tid node.node_trace ~at:t.time ~node:node.id ev;
+    if Obs.Trace.dropped node.node_trace > dropped0 then
+      Metrics.incr node.node_metrics "ring_dropped";
+    match t.event_hook with
+    | Some f -> f { Obs.Trace.at = t.time; node = node.id; tid; ev }
+    | None -> ()
+  end
 
 let push t time kind =
   t.seq <- t.seq + 1;
@@ -128,6 +143,14 @@ let is_up t id = (find_node t id).handlers <> None
 let do_send t node dst msg =
   let kind = t.classify msg in
   let size = t.size_of msg in
+  (* The outgoing message carries the sender's current trace id; messages
+     that start a causal chain of their own (client submissions) mint a
+     fresh one, so each command gets a distinct cross-node trace. *)
+  let trace =
+    if not t.obs then Obs.Traceid.none
+    else if t.fresh_trace msg then Obs.Traceid.mint node.node_tctx
+    else Obs.Traceid.current node.node_tctx
+  in
   (match t.proc_time with
   | Some cost -> node.busy_until <- Float.max node.busy_until t.time +. cost msg
   | None -> ());
@@ -138,11 +161,12 @@ let do_send t node dst msg =
     match Netmodel.sample_delay t.net t.engine_rng with
     | None -> ()
     | Some d ->
-      push t (t.time +. d) (Deliver { src = node.id; dst; msg; size });
+      push t (t.time +. d) (Deliver { src = node.id; dst; msg; size; trace });
       if Netmodel.sample_duplicate t.net t.engine_rng then begin
         match Netmodel.sample_delay t.net t.engine_rng with
         | None -> ()
-        | Some d' -> push t (t.time +. d') (Deliver { src = node.id; dst; msg; size })
+        | Some d' ->
+          push t (t.time +. d') (Deliver { src = node.id; dst; msg; size; trace })
       end
   end
 
@@ -191,6 +215,7 @@ let add_node t ~id builder =
       node_stable = Stable.create ();
       node_metrics = Metrics.create ();
       node_trace = Obs.Trace.create ~capacity:t.trace_capacity ();
+      node_tctx = Obs.Traceid.create ~origin:id;
       ctx = None;
     }
   in
@@ -207,6 +232,8 @@ let crash t id =
     node.epoch <- node.epoch + 1;
     Hashtbl.reset node.cancelled;
     Metrics.incr node.node_metrics "crashes";
+    (* The crash ends whatever causal chain the node was in. *)
+    Obs.Traceid.clear node.node_tctx;
     emit_event t node Obs.Event.Crashed
 
 let restart t ?(wipe_stable = false) id =
@@ -216,13 +243,14 @@ let restart t ?(wipe_stable = false) id =
   | None ->
     if wipe_stable then Stable.wipe node.node_stable;
     Metrics.incr node.node_metrics "restarts";
+    Obs.Traceid.clear node.node_tctx;
     emit_event t node Obs.Event.Restarted;
     start_node t node
 
 let handle_event t ev =
   match ev.kind with
   | Action f -> f ()
-  | Deliver { src; dst; msg; size } -> begin
+  | Deliver { src; dst; msg; size; trace } -> begin
     match Hashtbl.find_opt t.nodes dst with
     | None -> ()
     | Some node -> begin
@@ -234,15 +262,19 @@ let handle_event t ev =
           | Some cost when node.busy_until > t.time ->
             (* The node's CPU is busy: queue the message until it frees up. *)
             ignore cost;
-            push t node.busy_until (Deliver { src; dst; msg; size })
+            push t node.busy_until (Deliver { src; dst; msg; size; trace })
           | _ ->
             (match t.proc_time with
             | Some cost -> node.busy_until <- t.time +. cost msg
             | None -> ());
+            (* Everything the handler emits/sends continues the message's
+               causal chain. *)
+            if t.obs then Obs.Traceid.adopt node.node_tctx trace;
+            let kind = t.classify msg in
             Metrics.incr node.node_metrics "msgs_recv";
             Metrics.incr node.node_metrics ~by:size "bytes_recv";
-            Metrics.incr node.node_metrics ("recv." ^ t.classify msg);
-            emit_event t node (Obs.Event.Msg_recv { src; kind = t.classify msg });
+            Metrics.incr node.node_metrics ("recv." ^ kind);
+            emit_event t node (Obs.Event.Msg_recv { src; kind; bytes = size });
             h.on_message ~src msg
         end
     end
@@ -256,7 +288,12 @@ let handle_event t ev =
       | Some h ->
         if node.epoch = epoch then begin
           if Hashtbl.mem node.cancelled tid then Hashtbl.remove node.cancelled tid
-          else h.on_timer ~tid ~tag
+          else begin
+            (* A timer step starts a fresh causal chain (retransmissions,
+               elections, ticks are not caused by any one message). *)
+            if t.obs then ignore (Obs.Traceid.mint node.node_tctx);
+            h.on_timer ~tid ~tag
+          end
         end
     end
   end

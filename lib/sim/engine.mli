@@ -42,6 +42,8 @@ val create :
   ?net:Netmodel.t ->
   ?proc_time:('m -> float) ->
   ?trace_capacity:int ->
+  ?obs:bool ->
+  ?fresh_trace:('m -> bool) ->
   size_of:('m -> int) ->
   classify:('m -> string) ->
   unit ->
@@ -57,7 +59,20 @@ val create :
     and throughput scales without bound.
 
     [trace_capacity] sizes each node's event ring
-    (default {!Cp_obs.Trace.default_capacity}). *)
+    (default {!Cp_obs.Trace.default_capacity}).
+
+    [obs] (default true) turns the tracing layer on: per-node rings, the
+    live hook, and causal trace-id propagation. With [obs:false] nothing is
+    recorded or stamped (metrics stay on) and the event schedule is
+    unchanged, so an obs-off run replays the identical simulation — the
+    basis of the obs-overhead bench gate.
+
+    [fresh_trace] (default: never) marks messages that {e start} a causal
+    chain: sending one mints a fresh trace id instead of continuing the
+    sender's current chain. The cluster runtime passes client submissions,
+    so every command gets a distinct cross-node trace. Delivered messages
+    carry their id to the destination, which adopts it for everything the
+    handler emits; timer steps always mint fresh ids. *)
 
 val add_node : 'm t -> id:int -> ('m ctx -> 'm handlers) -> unit
 (** Register and start a node. Ids must be unique; they need not be dense. *)

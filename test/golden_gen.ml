@@ -15,4 +15,14 @@ let () =
       close_out oc;
       Printf.printf "wrote %s (%d lines)\n" path
         (List.length (String.split_on_char '\n' dump) - 1))
-    Cp_harness.Golden.cases
+    Cp_harness.Golden.cases;
+  (* One committed Chrome trace-event snapshot pins the Perfetto exporter's
+     output format (for failover_batch only; the other cases exercise the
+     same code). *)
+  let case = Cp_harness.Golden.failover_batch in
+  let chrome = Cp_harness.Golden.dump_chrome case in
+  let path = Filename.concat "test" (Cp_harness.Golden.chrome_file_of case) in
+  let oc = open_out path in
+  output_string oc chrome;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n" path (String.length chrome)

@@ -110,6 +110,71 @@ let test_scratch_encode_matches () =
   List.iter check sample_msgs;
   List.iter check (List.rev sample_msgs)
 
+let test_traced_roundtrip () =
+  let tids = [ 0; 1; 0x100001c; ((7 + 1) lsl 24) lor 12345; max_int lsr 8 ] in
+  List.iter
+    (fun msg ->
+      List.iter
+        (fun tid ->
+          match Codec.decode_traced (Codec.encode_traced ~tid msg) with
+          | Ok (msg', tid') ->
+            Alcotest.(check bool)
+              (Format.asprintf "%a tid=%d" Types.pp_msg msg tid)
+              true
+              (msg_equal msg msg' && tid = tid')
+          | Error e -> Alcotest.failf "traced decode failed (tid=%d): %s" tid e)
+        tids)
+    sample_msgs
+
+let test_traced_accepts_plain_frames () =
+  (* Frames from senders that predate tracing decode with tid 0. *)
+  List.iter
+    (fun msg ->
+      match Codec.decode_traced (Codec.encode msg) with
+      | Ok (msg', 0) ->
+        Alcotest.(check bool) "plain frame" true (msg_equal msg msg')
+      | Ok (_, tid) -> Alcotest.failf "plain frame decoded with tid %d" tid
+      | Error e -> Alcotest.failf "plain frame rejected: %s" e)
+    sample_msgs
+
+let test_traced_zero_is_plain () =
+  (* tid 0 adds no suffix, so untraced peers still decode our frames. *)
+  List.iter
+    (fun msg ->
+      Alcotest.(check string)
+        (Format.asprintf "%a" Types.pp_msg msg)
+        (Codec.encode msg)
+        (Codec.encode_traced ~tid:0 msg);
+      match Codec.decode (Codec.encode_traced ~tid:0 msg) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "untraced decode failed: %s" e)
+    sample_msgs
+
+let test_traced_rejects_bad_suffix () =
+  let good = Codec.encode (Types.CommitFloor { upto = 1 }) in
+  (* Truncated varint after the marker. *)
+  (match Codec.decode_traced (good ^ "\xf5\x80") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated trace suffix accepted");
+  (* Junk after a complete suffix. *)
+  (match Codec.decode_traced (Codec.encode_traced ~tid:9 (Types.CommitFloor { upto = 1 }) ^ "x") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing bytes after suffix accepted");
+  (* Non-marker trailing byte is still trailing garbage. *)
+  match Codec.decode_traced (good ^ "x") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-marker trailing byte accepted"
+
+let test_traced_scratch_matches () =
+  let scratch = Codec.create_scratch ~size:8 () in
+  List.iter
+    (fun msg ->
+      Alcotest.(check string)
+        (Format.asprintf "%a" Types.pp_msg msg)
+        (Codec.encode_traced ~tid:77 msg)
+        (Codec.encode_traced_with scratch ~tid:77 msg))
+    sample_msgs
+
 let test_varint_edges () =
   let roundtrip_int n =
     let buf = Buffer.create 10 in
@@ -179,6 +244,13 @@ let suite =
     Alcotest.test_case "decode rejects truncation" `Quick test_decode_rejects_truncation;
     Alcotest.test_case "scratch encode matches allocating encode" `Quick
       test_scratch_encode_matches;
+    Alcotest.test_case "traced roundtrip" `Quick test_traced_roundtrip;
+    Alcotest.test_case "traced accepts plain frames" `Quick
+      test_traced_accepts_plain_frames;
+    Alcotest.test_case "traced tid 0 is the plain encoding" `Quick
+      test_traced_zero_is_plain;
+    Alcotest.test_case "traced rejects bad suffix" `Quick test_traced_rejects_bad_suffix;
+    Alcotest.test_case "traced scratch encode matches" `Quick test_traced_scratch_matches;
     Alcotest.test_case "varint edges" `Quick test_varint_edges;
     Alcotest.test_case "size model sane" `Quick test_size_model_sane;
   ]

@@ -39,8 +39,26 @@ let check_case case () =
     | None -> Alcotest.failf "%s: traces differ (length only?)" case.Golden.name
   end
 
+(* The Chrome trace-event export of the failover case is pinned the same
+   way: a seeded schedule must render to byte-identical Perfetto JSON. *)
+let check_chrome () =
+  let case = Golden.failover_batch in
+  let path = Golden.chrome_file_of case in
+  if not (Sys.file_exists path) then
+    Alcotest.failf "missing golden file %s (run `dune exec test/golden_gen.exe`)" path;
+  let expected = read_file path in
+  let actual = Golden.dump_chrome case in
+  if not (String.equal actual expected) then begin
+    match first_diff actual expected with
+    | Some (line, got, want) ->
+      Alcotest.failf "chrome export diverges from golden at line %d:\n  run:    %s\n  golden: %s"
+        line got want
+    | None -> Alcotest.fail "chrome export differs (length only?)"
+  end
+
 let suite =
   List.map
     (fun case ->
       Alcotest.test_case ("golden trace: " ^ case.Golden.name) `Slow (check_case case))
     Golden.cases
+  @ [ Alcotest.test_case "golden chrome export: failover_batch" `Slow check_chrome ]

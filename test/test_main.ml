@@ -28,5 +28,6 @@ let () =
       ("nemesis", Test_nemesis.suite);
       ("netio-unit", Test_netio_unit.suite);
       ("obs", Test_obs.suite);
+      ("timeline", Test_timeline.suite);
       ("golden", Test_golden.suite);
     ]

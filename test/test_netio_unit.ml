@@ -8,6 +8,11 @@ module Types = Cp_proto.Types
 
 let base = 46500
 
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
 let port_of id = base + id
 
 let id_of_port p = p - base
@@ -180,6 +185,97 @@ let test_unknown_source_port_dropped () =
   Alcotest.(check int) "only the mapped peer delivered" 1 !got;
   Alcotest.(check bool) (Printf.sprintf "drop counted (%d)" errors) true (errors >= 1)
 
+let test_trace_id_propagates_over_udp () =
+  (* A client_req minted at node 11 must tag the Msg_recv at node 12 (the
+     id travels as the traced-frame suffix) and ride the reply back. *)
+  let echo =
+    Node.create ~port_of ~id_of_port ~id:12 ~seed:2
+      ~build:(fun ctx ->
+        {
+          Engine.on_message =
+            (fun ~src msg ->
+              match msg with
+              | Types.ClientReq { client; seq; _ } ->
+                ctx.Engine.send src (Types.ClientResp { client; seq; result = "ok" })
+              | _ -> ());
+          on_timer = (fun ~tid:_ ~tag:_ -> ());
+        })
+      ()
+  in
+  let got = ref false in
+  let pinger =
+    Node.create ~port_of ~id_of_port ~id:11 ~seed:3
+      ~build:(fun ctx ->
+        ctx.Engine.send 12 (Types.ClientReq { client = 11; seq = 1; op = "x" });
+        {
+          Engine.on_message = (fun ~src:_ _ -> got := true);
+          on_timer = (fun ~tid:_ ~tag:_ -> ());
+        })
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while (not !got) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  let traced_recv node ~from =
+    Node.with_lock node (fun () -> Cp_obs.Trace.records (Node.trace node))
+    |> List.exists (fun (r : Cp_obs.Trace.record) ->
+           match r.Cp_obs.Trace.ev with
+           | Cp_obs.Event.Msg_recv _ ->
+             r.Cp_obs.Trace.tid <> 0 && Cp_obs.Traceid.origin_of r.Cp_obs.Trace.tid = from
+           | _ -> false)
+  in
+  let at_echo = traced_recv echo ~from:11 in
+  let at_pinger = traced_recv pinger ~from:11 in
+  Node.shutdown echo;
+  Node.shutdown pinger;
+  Alcotest.(check bool) "reply received" true !got;
+  Alcotest.(check bool) "request carried the minted id to node 12" true at_echo;
+  Alcotest.(check bool) "reply carried the same chain back to node 11" true at_pinger
+
+let test_admin_endpoint () =
+  let admin_port = base + 300 in
+  let node =
+    Node.create ~port_of ~id_of_port ~id:13 ~seed:1 ~admin_port
+      ~build:(fun ctx ->
+        ctx.Engine.emit (Cp_obs.Event.Command_executed { instance = 0 });
+        Cp_sim.Metrics.incr (ctx.Engine.metrics) "probe_counter";
+        { Engine.on_message = (fun ~src:_ _ -> ()); on_timer = (fun ~tid:_ ~tag:_ -> ()) })
+      ()
+  in
+  (* The pure half. *)
+  let code, _, health = Node.admin_response node "/healthz" in
+  Alcotest.(check int) "healthz 200" 200 code;
+  Alcotest.(check bool) "healthz body" true (contains health "ok node=13");
+  let code, _, metrics = Node.admin_response node "/metrics" in
+  Alcotest.(check int) "metrics 200" 200 code;
+  Alcotest.(check bool) "metrics body" true (contains metrics "cp_probe_counter 1");
+  let code, ctype, timeline = Node.admin_response node "/timeline" in
+  Alcotest.(check int) "timeline 200" 200 code;
+  Alcotest.(check string) "timeline is json" "application/json" ctype;
+  Alcotest.(check bool) "timeline body" true (contains timeline "\"traceEvents\":[");
+  Alcotest.(check bool) "timeline has the event" true
+    (contains timeline "command_executed");
+  let code, _, _ = Node.admin_response node "/nope" in
+  Alcotest.(check int) "unknown path 404" 404 code;
+  (* And one real scrape through the TCP listener. *)
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, admin_port));
+  let req = "GET /healthz HTTP/1.0\r\n\r\n" in
+  ignore (Unix.write_substring sock req 0 (String.length req));
+  let buf = Bytes.create 4096 in
+  let rec read_all acc =
+    match Unix.read sock buf 0 (Bytes.length buf) with
+    | 0 -> acc
+    | n -> read_all (acc ^ Bytes.sub_string buf 0 n)
+    | exception Unix.Unix_error _ -> acc
+  in
+  let resp = read_all "" in
+  Unix.close sock;
+  Node.shutdown node;
+  Alcotest.(check bool) "HTTP status line" true (contains resp "HTTP/1.0 200 OK");
+  Alcotest.(check bool) "HTTP body" true (contains resp "ok node=13")
+
 let test_shutdown_idempotent () =
   let node =
     Node.create ~port_of ~id_of_port ~id:4 ~seed:1
@@ -205,5 +301,8 @@ let suite =
     Alcotest.test_case "echo roundtrip" `Slow test_echo_roundtrip;
     Alcotest.test_case "handler exceptions survive" `Slow test_handler_exceptions_survive;
     Alcotest.test_case "unknown source port dropped" `Slow test_unknown_source_port_dropped;
+    Alcotest.test_case "trace id propagates over udp" `Slow
+      test_trace_id_propagates_over_udp;
+    Alcotest.test_case "admin endpoint" `Slow test_admin_endpoint;
     Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
   ]

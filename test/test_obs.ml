@@ -55,7 +55,7 @@ let all_events =
     Event.Command_submitted { client = 1000; seq = 4 };
     Event.Command_chosen { instance = 11; batch = 2 };
     Event.Command_executed { instance = 11 };
-    Event.Msg_recv { src = 0; kind = "p2a" };
+    Event.Msg_recv { src = 0; kind = "p2a"; bytes = 64 };
     Event.Lease_acquired { round = 3 };
     Event.Lease_lost { reason = "stepped_down" };
     Event.Lease_read_served { client = 1000; seq = 9; upto = 17 };
@@ -79,7 +79,7 @@ let test_jsonl_roundtrip () =
   (* Timestamps exactly representable at the dump's 6-decimal precision. *)
   let records =
     List.mapi
-      (fun i ev -> { Trace.at = 0.125 *. float_of_int i; node = i mod 3; ev })
+      (fun i ev -> { Trace.at = 0.125 *. float_of_int i; node = i mod 3; tid = i mod 2; ev })
       all_events
   in
   let text = Trace.to_jsonl records in
@@ -90,6 +90,7 @@ let test_jsonl_roundtrip () =
     List.iter2
       (fun (a : Trace.record) (b : Trace.record) ->
         Alcotest.(check int) "node" a.Trace.node b.Trace.node;
+        Alcotest.(check int) "tid" a.Trace.tid b.Trace.tid;
         Alcotest.(check bool) "time" true (Float.abs (a.Trace.at -. b.Trace.at) < 1e-9);
         Alcotest.(check bool)
           (Printf.sprintf "event %s" (Event.kind a.Trace.ev))
@@ -97,8 +98,19 @@ let test_jsonl_roundtrip () =
           (Event.equal a.Trace.ev b.Trace.ev))
       records records'
 
+(* Dumps written before trace ids / byte counts existed still load. *)
+let test_jsonl_old_format () =
+  let old = "{\"at\":0.5,\"node\":1,\"event\":\"msg_recv\",\"src\":0,\"kind\":\"p2a\"}\n" in
+  match Trace.of_jsonl old with
+  | Error e -> Alcotest.failf "pre-tracing dump rejected: %s" e
+  | Ok [ r ] ->
+    Alcotest.(check int) "missing tid defaults to 0" 0 r.Trace.tid;
+    Alcotest.(check bool) "missing bytes defaults to 0" true
+      (Event.equal r.Trace.ev (Event.Msg_recv { src = 0; kind = "p2a"; bytes = 0 }))
+  | Ok rs -> Alcotest.failf "expected one record, got %d" (List.length rs)
+
 let test_jsonl_shape () =
-  let r = { Trace.at = 0.25; node = 2; ev = Event.Aux_engaged { instance = 7 } } in
+  let r = { Trace.at = 0.25; node = 2; tid = 0; ev = Event.Aux_engaged { instance = 7 } } in
   let json = Trace.record_to_json r in
   Alcotest.(check bool) "has event tag" true (contains json "\"event\":\"aux_engaged\"");
   Alcotest.(check bool) "has instance" true (contains json "\"instance\":7");
@@ -161,6 +173,73 @@ let test_span_unknown_instance_ignored () =
   Alcotest.(check int) "unmatched chosen is stashed, nothing observed" 1
     (Obs.Span.pending span)
 
+(* Spans of commands that were shed or deduplicated never close; expire
+   ages them out so the tables stay bounded under sustained overload. *)
+let test_span_expire () =
+  let span = Obs.Span.create ~observe:(fun _ _ -> ()) in
+  Obs.Span.submitted span ~client:1 ~seq:1 ~at:0.0;
+  Obs.Span.submitted span ~client:1 ~seq:2 ~at:0.1;
+  Obs.Span.chosen span ~instance:5 ~cmds:[] ~at:0.2;
+  Alcotest.(check int) "three open spans" 3 (Obs.Span.pending span);
+  (* First call establishes the scan epoch; within ttl nothing is stale. *)
+  Alcotest.(check int) "young spans survive" 0 (Obs.Span.expire span ~now:0.5 ~ttl:1.0);
+  Alcotest.(check int) "rate limit: immediate rescan is free" 0
+    (Obs.Span.expire span ~now:0.5 ~ttl:1.0);
+  (* Far enough in the future, everything is past its ttl. *)
+  Alcotest.(check int) "stale spans dropped" 3 (Obs.Span.expire span ~now:10.0 ~ttl:1.0);
+  Alcotest.(check int) "tables emptied" 0 (Obs.Span.pending span);
+  (* Fresh entries after the purge are untouched. *)
+  Obs.Span.submitted span ~client:2 ~seq:1 ~at:10.0;
+  Alcotest.(check int) "fresh span survives next scan" 0
+    (Obs.Span.expire span ~now:10.5 ~ttl:1.0);
+  Alcotest.(check int) "still pending" 1 (Obs.Span.pending span)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline profiler                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_prof_counters () =
+  let clock = ref 0.0 in
+  let counters = Hashtbl.create 8 in
+  let count name by =
+    Hashtbl.replace counters name (by + Option.value ~default:0 (Hashtbl.find_opt counters name))
+  in
+  let prof = Obs.Prof.create ~clock:(fun () -> !clock) ~count () in
+  let r =
+    Obs.Prof.time prof "step" (fun () ->
+        clock := !clock +. 2e-6;
+        42)
+  in
+  Alcotest.(check int) "time is transparent" 42 r;
+  Obs.Prof.time prof "step" (fun () -> clock := !clock +. 1e-6);
+  Obs.Prof.record prof "decode" ~ns:500;
+  Alcotest.(check int) "samples counted" 2 (Hashtbl.find counters "prof.step.n");
+  Alcotest.(check int) "nanoseconds summed" 3000 (Hashtbl.find counters "prof.step.ns");
+  Alcotest.(check int) "external stage recorded" 500
+    (Hashtbl.find counters "prof.decode.ns");
+  let rows =
+    Obs.Prof.summarize (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters [])
+  in
+  Alcotest.(check bool) "summarize finds both stages" true
+    (List.map (fun (s, _, _) -> s) rows = [ "decode"; "step" ]);
+  (match List.assoc_opt "step" (List.map (fun (s, n, ns) -> (s, (n, ns))) rows) with
+  | Some (n, ns) ->
+    Alcotest.(check int) "row samples" 2 n;
+    Alcotest.(check int) "row total" 3000 ns
+  | None -> Alcotest.fail "no step row");
+  let rendered =
+    Obs.Prof.render (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters [])
+  in
+  Alcotest.(check bool) "render mentions stage" true (contains rendered "step");
+  Alcotest.(check bool) "render is a comment block" true
+    (String.length rendered > 0 && rendered.[0] = '#');
+  Alcotest.(check string) "no profile renders empty" "" (Obs.Prof.render [ ("msgs", 3) ])
+
+let test_prof_disabled () =
+  let prof = Obs.Prof.disabled in
+  Alcotest.(check bool) "disabled" false (Obs.Prof.enabled prof);
+  Alcotest.(check int) "time still runs f" 7 (Obs.Prof.time prof "x" (fun () -> 7))
+
 (* ------------------------------------------------------------------ *)
 (* Prometheus rendering                                                *)
 (* ------------------------------------------------------------------ *)
@@ -190,18 +269,18 @@ let test_prom_sanitize () =
 (* Checkers                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let rec_ at node ev = { Trace.at; node; ev }
+let rec_ at node ev = { Trace.at; node; tid = 0; ev }
 
 let test_checker_aux_quiescent () =
   let quiet =
     [
-      rec_ 0.1 0 (Event.Msg_recv { src = 1; kind = "p2a" });
-      rec_ 0.2 1 (Event.Msg_recv { src = 0; kind = "p2b" });
+      rec_ 0.1 0 (Event.Msg_recv { src = 1; kind = "p2a"; bytes = 10 });
+      rec_ 0.2 1 (Event.Msg_recv { src = 0; kind = "p2b"; bytes = 10 });
     ]
   in
   Alcotest.(check bool) "main traffic is fine" true
     (Obs.Checker.aux_quiescent ~auxes:[ 2 ] quiet = Ok ());
-  let noisy = quiet @ [ rec_ 0.3 2 (Event.Msg_recv { src = 0; kind = "p2a" }) ] in
+  let noisy = quiet @ [ rec_ 0.3 2 (Event.Msg_recv { src = 0; kind = "p2a"; bytes = 10 }) ] in
   Alcotest.(check bool) "aux traffic flagged" true
     (Result.is_error (Obs.Checker.aux_quiescent ~auxes:[ 2 ] noisy));
   Alcotest.(check bool) "window excludes early traffic" true
@@ -353,11 +432,15 @@ let suite =
     Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
     Alcotest.test_case "jsonl shape" `Quick test_jsonl_shape;
     Alcotest.test_case "jsonl rejects junk" `Quick test_of_jsonl_rejects_junk;
+    Alcotest.test_case "jsonl old format loads" `Quick test_jsonl_old_format;
     Alcotest.test_case "trace emit and hook" `Quick test_trace_emit_and_hook;
     Alcotest.test_case "merge sorts by time" `Quick test_merge_sorts_by_time;
     Alcotest.test_case "span phases" `Quick test_span_phases;
     Alcotest.test_case "span ignores unknown instance" `Quick
       test_span_unknown_instance_ignored;
+    Alcotest.test_case "span expire drops stale entries" `Quick test_span_expire;
+    Alcotest.test_case "profiler counters" `Quick test_prof_counters;
+    Alcotest.test_case "profiler disabled" `Quick test_prof_disabled;
     Alcotest.test_case "prometheus render" `Quick test_prom_render;
     Alcotest.test_case "prometheus sanitize" `Quick test_prom_sanitize;
     Alcotest.test_case "checker: aux quiescence" `Quick test_checker_aux_quiescent;

@@ -1,0 +1,245 @@
+(* Timeline reconstruction tests: trace-id joining, duty cycles, engagement
+   windows, and the Chrome trace-event exporter — on hand-built records
+   first, then against a real simulated failover where ids must propagate
+   across nodes through Deliver events. *)
+
+module Obs = Cp_obs
+module Event = Cp_obs.Event
+module Trace = Cp_obs.Trace
+module Timeline = Cp_obs.Timeline
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let rec_ ?(tid = 0) at node ev = { Trace.at; node; tid; ev }
+
+(* ------------------------------------------------------------------ *)
+(* by_trace                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_by_trace_groups () =
+  let records =
+    [
+      rec_ ~tid:7 0.3 1 (Event.Command_chosen { instance = 0; batch = 1 });
+      rec_ ~tid:9 0.1 0 (Event.Command_submitted { client = 1000; seq = 1 });
+      rec_ 0.15 0 Event.Crashed (* untraced: dropped *);
+      rec_ ~tid:7 0.2 0 (Event.Command_submitted { client = 1000; seq = 2 });
+      rec_ ~tid:9 0.4 2 (Event.Command_executed { instance = 1 });
+    ]
+  in
+  let groups = Timeline.by_trace records in
+  Alcotest.(check (list int)) "groups ordered by first record" [ 9; 7 ]
+    (List.map fst groups);
+  let g9 = List.assoc 9 groups in
+  Alcotest.(check int) "group size" 2 (List.length g9);
+  Alcotest.(check (list int)) "records in time order" [ 0; 2 ]
+    (List.map (fun (r : Trace.record) -> r.Trace.node) g9);
+  Alcotest.(check (list int)) "cross-node join" [ 0; 2 ] (Timeline.nodes_of g9);
+  Alcotest.(check int) "untraced records dropped" 0
+    (List.length (Timeline.by_trace [ rec_ 0.1 0 Event.Crashed ]))
+
+(* ------------------------------------------------------------------ *)
+(* duty_cycle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_duty_cycle () =
+  let ev = Event.Msg_recv { src = 0; kind = "p2a"; bytes = 10 } in
+  (* Node 1 active in 2 of 10 1ms buckets of [0, 10ms); node 2 silent. *)
+  let records =
+    [
+      rec_ 0.0001 1 ev;
+      rec_ 0.0002 1 ev (* same bucket as the first *);
+      rec_ 0.0042 1 ev;
+      rec_ 0.02 1 ev (* outside the window *);
+      rec_ 0.001 0 ev (* other node *);
+    ]
+  in
+  Alcotest.(check (float 1e-9)) "two occupied buckets" 0.2
+    (Timeline.duty_cycle ~node:1 ~t0:0. ~t1:0.01 records);
+  Alcotest.(check (float 1e-9)) "silent node" 0.
+    (Timeline.duty_cycle ~node:2 ~t0:0. ~t1:0.01 records);
+  Alcotest.(check (float 1e-9)) "empty window" 0.
+    (Timeline.duty_cycle ~node:1 ~t0:1. ~t1:1. records);
+  Alcotest.(check (float 1e-9)) "coarse bucket saturates" 1.0
+    (Timeline.duty_cycle ~bucket:0.01 ~node:1 ~t0:0. ~t1:0.01 records)
+
+(* ------------------------------------------------------------------ *)
+(* engagement_windows                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_engagement_windows () =
+  let msg node at bytes =
+    rec_ at node (Event.Msg_recv { src = 0; kind = "p2a"; bytes })
+  in
+  let records =
+    [
+      rec_ 0.05 1 Event.Crashed;
+      msg 0 0.08 10 (* before engagement: counted nowhere *);
+      rec_ 0.1 0 (Event.Aux_engaged { instance = 4 });
+      rec_ 0.11 0 (Event.Aux_engaged { instance = 6 });
+      msg 2 0.12 100 (* aux traffic, engage phase *);
+      msg 0 0.13 20 (* main traffic, engage phase *);
+      rec_ 0.2 0 (Event.Ballot_won { round = 1; leader = 0 });
+      msg 2 0.25 50 (* aux traffic, settle phase *);
+      rec_ 0.3 0 (Event.Aux_quiesced { floor = 9 });
+      msg 2 0.35 999 (* after the window: not aux-window traffic *);
+    ]
+  in
+  match Timeline.engagement_windows ~auxes:[ 2 ] records with
+  | [ w ] ->
+    Alcotest.(check (float 1e-9)) "started at the crash" 0.05 w.Timeline.started_at;
+    Alcotest.(check (float 1e-9)) "engaged" 0.1 w.Timeline.engaged_at;
+    Alcotest.(check int) "highest engaged instance" 6 w.Timeline.engaged_instance;
+    Alcotest.(check (option (float 1e-9))) "elected" (Some 0.2) w.Timeline.elected_at;
+    Alcotest.(check (option (float 1e-9))) "quiesced" (Some 0.3) w.Timeline.quiesced_at;
+    Alcotest.(check int) "engage msgs" 2 w.Timeline.msgs_engage;
+    Alcotest.(check int) "engage bytes" 120 w.Timeline.bytes_engage;
+    Alcotest.(check int) "settle msgs" 1 w.Timeline.msgs_settle;
+    Alcotest.(check int) "settle bytes" 50 w.Timeline.bytes_settle;
+    Alcotest.(check int) "aux msgs across window" 2 w.Timeline.aux_msgs;
+    Alcotest.(check int) "aux bytes across window" 150 w.Timeline.aux_bytes
+  | ws -> Alcotest.failf "expected one window, got %d" (List.length ws)
+
+let test_engagement_still_open () =
+  let records =
+    [
+      rec_ 0.1 0 (Event.Aux_engaged { instance = 2 });
+      rec_ 0.2 2 (Event.Msg_recv { src = 0; kind = "p2a"; bytes = 30 });
+    ]
+  in
+  match Timeline.engagement_windows ~auxes:[ 2 ] records with
+  | [ w ] ->
+    Alcotest.(check (float 1e-9)) "no fault: starts at engagement" 0.1
+      w.Timeline.started_at;
+    Alcotest.(check (option (float 1e-9))) "never elected" None w.Timeline.elected_at;
+    Alcotest.(check (option (float 1e-9))) "never quiesced" None w.Timeline.quiesced_at;
+    Alcotest.(check int) "traffic still counted" 1 w.Timeline.aux_msgs
+  | ws -> Alcotest.failf "expected one open window, got %d" (List.length ws)
+
+let test_engagement_none () =
+  Alcotest.(check int) "no engagement, no windows" 0
+    (List.length
+       (Timeline.engagement_windows ~auxes:[ 2 ] [ rec_ 0.1 1 Event.Crashed ]))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_shape () =
+  let records =
+    [
+      rec_ ~tid:5 0.001 0 (Event.Command_submitted { client = 1000; seq = 1 });
+      rec_ ~tid:5 0.002 1 (Event.Command_executed { instance = 0 });
+      rec_ 0.003 1 Event.Crashed;
+    ]
+  in
+  let json = Timeline.to_chrome records in
+  Alcotest.(check bool) "wrapped format" true (contains json "\"traceEvents\":[");
+  Alcotest.(check bool) "instant event" true (contains json "\"ph\":\"i\"");
+  Alcotest.(check bool) "async begin" true (contains json "\"ph\":\"b\"");
+  Alcotest.(check bool) "async end" true (contains json "\"ph\":\"e\"");
+  Alcotest.(check bool) "microsecond timestamps" true (contains json "\"ts\":1000.000");
+  Alcotest.(check bool) "event args carried" true (contains json "\"client\":1000");
+  Alcotest.(check bool) "node is the process lane" true (contains json "\"pid\":1");
+  Alcotest.(check string) "deterministic" json (Timeline.to_chrome records);
+  (* Order-insensitive in the input: to_chrome sorts. *)
+  Alcotest.(check string) "input order irrelevant" json
+    (Timeline.to_chrome (List.rev records))
+
+(* ------------------------------------------------------------------ *)
+(* Simulated failover: ids really propagate across nodes               *)
+(* ------------------------------------------------------------------ *)
+
+let run_failover ~obs ~seed =
+  let spec = Cp_harness.Scenario.default_spec ~sys:(Cp_harness.Scenario.Cheap 1) in
+  let spec =
+    {
+      spec with
+      Cp_harness.Scenario.seed;
+      obs;
+      clients = 2;
+      ops_per_client = 30;
+      think = 1e-3;
+      mk_ops = (fun ~client_idx:_ -> Cp_workload.Workload.counter_ops ~count:30);
+      faults =
+        [ (0.02, Cp_runtime.Faults.Crash 1); (0.25, Cp_runtime.Faults.Restart 1) ];
+      deadline = 2.;
+    }
+  in
+  Cp_harness.Scenario.run spec
+
+let test_sim_trace_ids_join_nodes () =
+  let r = run_failover ~obs:true ~seed:41 in
+  Alcotest.(check bool) "finished" true r.Cp_harness.Scenario.finished;
+  let records = Cp_harness.Scenario.trace r in
+  Alcotest.(check (list (pair int int))) "no ring loss" []
+    (Cp_runtime.Inspect.ring_drops r.Cp_harness.Scenario.cluster);
+  let groups = Timeline.by_trace records in
+  Alcotest.(check bool) "many causal chains" true (List.length groups > 10);
+  let multi_node =
+    List.filter (fun (_, g) -> List.length (Timeline.nodes_of g) >= 2) groups
+  in
+  Alcotest.(check bool) "chains span nodes" true (List.length multi_node > 0);
+  (* Client submissions mint: some chain starts at a client node (>= 1000). *)
+  Alcotest.(check bool) "some chain originates at a client" true
+    (List.exists
+       (fun (tid, _) -> Obs.Traceid.origin_of tid >= 1000)
+       groups);
+  (* The failover appears as an engagement window with aux traffic. *)
+  (match
+     Timeline.engagement_windows ~auxes:(Cp_harness.Scenario.aux_ids r) records
+   with
+  | [] -> Alcotest.fail "no engagement window in failover trace"
+  | w :: _ ->
+    Alcotest.(check bool) "aux saw traffic while engaged" true (w.Timeline.aux_msgs > 0));
+  (* Steady state after the failover settles: auxes idle, leader busy. *)
+  let auxes = Cp_harness.Scenario.aux_ids r in
+  let t0 = 0.5 and t1 = r.Cp_harness.Scenario.wall in
+  if t1 > t0 then
+    List.iter
+      (fun aux ->
+        Alcotest.(check bool) "aux duty cycle tiny" true
+          (Timeline.duty_cycle ~node:aux ~t0 ~t1 records < 0.05))
+      auxes;
+  (* The profiler ran: step samples on some main. *)
+  let cluster = r.Cp_harness.Scenario.cluster in
+  let step_n =
+    List.fold_left
+      (fun acc id ->
+        acc
+        + Cp_sim.Metrics.get
+            (Cp_sim.Engine.metrics (Cp_runtime.Cluster.engine cluster) id)
+            "prof.step.n")
+      0
+      (Cp_harness.Scenario.main_ids r)
+  in
+  Alcotest.(check bool) "profiler counted steps" true (step_n > 0)
+
+let test_sim_obs_off_same_run () =
+  (* obs:false must not change the simulation: same commands completed at
+     the same simulated time — and no records collected. *)
+  let a = run_failover ~obs:true ~seed:43 in
+  let b = run_failover ~obs:false ~seed:43 in
+  Alcotest.(check int) "same completions" a.Cp_harness.Scenario.completed
+    b.Cp_harness.Scenario.completed;
+  Alcotest.(check (float 1e-12)) "same virtual end time" a.Cp_harness.Scenario.wall
+    b.Cp_harness.Scenario.wall;
+  Alcotest.(check int) "obs off collects nothing" 0
+    (List.length (Cp_harness.Scenario.trace b));
+  Alcotest.(check bool) "obs on collects plenty" true
+    (List.length (Cp_harness.Scenario.trace a) > 100)
+
+let suite =
+  [
+    Alcotest.test_case "by_trace groups and orders" `Quick test_by_trace_groups;
+    Alcotest.test_case "duty cycle" `Quick test_duty_cycle;
+    Alcotest.test_case "engagement window phases" `Quick test_engagement_windows;
+    Alcotest.test_case "engagement window left open" `Quick test_engagement_still_open;
+    Alcotest.test_case "no engagement no windows" `Quick test_engagement_none;
+    Alcotest.test_case "chrome export shape" `Quick test_chrome_shape;
+    Alcotest.test_case "sim: trace ids join nodes" `Slow test_sim_trace_ids_join_nodes;
+    Alcotest.test_case "sim: obs off leaves the run unchanged" `Slow
+      test_sim_obs_off_same_run;
+  ]
