@@ -3,7 +3,7 @@
    Two parts:
    1. The evaluation tables (E1-E8): the paper has no measured tables or
       figures, so these regenerate the experiment suite that quantifies its
-      analytical claims (DESIGN.md section 5), each printed with
+      analytical claims (DESIGN.md section 7), each printed with
       claim-vs-measured verdicts.
    2. Bechamel microbenchmarks of the core data structures and of an
       end-to-end simulated commit, so regressions in the hot paths are
@@ -610,6 +610,119 @@ let write_trace_snapshot () =
     (if ok then "PASS" else "FAIL");
   ok
 
+(* ------------------------------------------------------------------ *)
+(* Fleet snapshot: the same machine budget (f=1: two mains, one        *)
+(* auxiliary) hosting one Cheap Paxos group versus eight key-sharded   *)
+(* groups, driven by the same closed-loop client population. A single  *)
+(* group is pipeline-window limited no matter how many clients offer   *)
+(* load; eight groups multiply the usable window, so aggregate op/s    *)
+(* must scale >= 4x. The auxiliary — shared by all groups — must stay  *)
+(* quiescent in EVERY group, which is the fleet's economy argument:    *)
+(* one idle spare underwrites N groups.                                *)
+(* ------------------------------------------------------------------ *)
+
+let write_fleet_snapshot () =
+  let module Fleet = Cp_fleet.Fleet in
+  let module Engine = Cp_sim.Engine in
+  let module Metrics = Cp_sim.Metrics in
+  let clients = 192 in
+  let per_client = if quick then 15 else 40 in
+  let run ~groups =
+    (* Batching off: the comparison isolates pipeline parallelism across
+       groups; batch amortization is measured in BENCH_batch.json. The
+       pipeline window is pinned low enough that one group's leader is the
+       bottleneck under this client population — the per-group resource the
+       fleet multiplies. *)
+    let params =
+      {
+        Cp_engine.Params.default with
+        Cp_engine.Params.batch_max_cmds = 1;
+        pipeline_window = 8;
+      }
+    in
+    let initial = Cheap_paxos.Cheap.initial_config ~f:1 in
+    let f =
+      Fleet.create ~seed:47 ~params ~groups ~policy:Cheap_paxos.Cheap.policy ~initial
+        ~app:(module Cp_smr.Kv) ()
+    in
+    let handles =
+      List.init clients (fun i ->
+          (* Workload keyed only by the client index, so both runs offer an
+             identical write-only stream over 256 keys (the router spreads
+             them across however many groups exist). *)
+          let ops =
+            Cp_workload.Workload.kv_ops
+              ~rng:(Cp_util.Rng.create (9000 + i))
+              ~keys:256 ~read_ratio:0. ~count:per_client ()
+          in
+          Fleet.add_client f ~think:0. ~ops ())
+    in
+    let finished () = List.for_all (fun (_, c) -> Cp_smr.Client.is_finished c) handles in
+    let done_ = Fleet.run_until f ~deadline:120. finished in
+    (f, handles, done_)
+  in
+  let eng_metrics f id = Engine.metrics (Fleet.engine f) id in
+  let completed f handles =
+    List.fold_left (fun acc (id, _) -> acc + Metrics.get (eng_metrics f id) "ops_done") 0 handles
+  in
+  let duration f handles =
+    List.fold_left
+      (fun acc (id, _) ->
+        List.fold_left max acc (Metrics.series (eng_metrics f id) "done_at"))
+      0. handles
+  in
+  let tput (f, handles, _) = float_of_int (completed f handles) /. duration f handles in
+  let single = run ~groups:1 in
+  let eight = run ~groups:8 in
+  let speedup = tput eight /. tput single in
+  let f8, _, _ = eight in
+  (* Every group elected a leader, and every group actually received work
+     (the router's stripes cover 256 keys comfortably). *)
+  let leaders_ok =
+    List.for_all (fun gid -> Fleet.leader f8 ~gid <> None) (List.init 8 Fun.id)
+  in
+  let group_chosen gid = Fleet.sum_group_metric f8 ~ids:(Fleet.mains f8) ~gid "chosen" in
+  let spread = List.init 8 group_chosen in
+  let spread_ok = List.for_all (fun n -> n > 0) spread in
+  (* Per-group auxiliary quiescence: each (aux, group) frame count stays at
+     the handful the group's initial election cost. *)
+  let aux_recv = Fleet.aux_group_recv f8 in
+  let max_aux_recv = List.fold_left (fun acc (_, _, n) -> max acc n) 0 aux_recv in
+  let quiescent = List.for_all (fun (_, _, n) -> n <= 24) aux_recv in
+  let side name ((f, handles, done_) as r) =
+    Printf.sprintf
+      "  %S: {\"completed\": %d, \"finished\": %b, \"duration\": %.6f, \"throughput\": %.1f}"
+      name (completed f handles) done_ (duration f handles) (tput r)
+  in
+  let oc = open_out "BENCH_fleet.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"clients\": %d,\n  \"ops_per_client\": %d,\n" clients per_client;
+  Printf.fprintf oc "  \"batch_max_cmds\": 1,\n";
+  Printf.fprintf oc "%s,\n" (side "single_group" single);
+  Printf.fprintf oc "%s,\n" (side "eight_groups" eight);
+  Printf.fprintf oc "  \"speedup\": %.3f,\n" speedup;
+  Printf.fprintf oc "  \"group_chosen\": [%s],\n"
+    (String.concat ", " (List.map string_of_int spread));
+  Printf.fprintf oc "  \"leaders_ok\": %b,\n" leaders_ok;
+  Printf.fprintf oc "  \"aux_group_recv\": [\n%s\n  ],\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (aux, gid, n) ->
+            Printf.sprintf "    {\"aux\": %d, \"group\": %d, \"recv\": %d}" aux gid n)
+          aux_recv));
+  Printf.fprintf oc "  \"max_aux_group_recv\": %d,\n" max_aux_recv;
+  Printf.fprintf oc "  \"aux_quiescent_all_groups\": %b\n" quiescent;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  let _, _, done1 = single and _, _, done8 = eight in
+  let ok = done1 && done8 && leaders_ok && spread_ok && quiescent && speedup >= 4.0 in
+  Printf.printf
+    "wrote BENCH_fleet.json (1 group %.0f ops/s, 8 groups %.0f ops/s, speedup %.2fx, \
+     max aux recv per group %d, aux quiescent in all groups: %b) -- %s\n"
+    (tput single) (tput eight) speedup max_aux_recv quiescent
+    (if ok then "PASS" else "FAIL");
+  ok
+
 let () =
   Printf.printf "Cheap Paxos evaluation%s\n" (if quick then " (quick mode)" else "");
   let outcomes = Cp_harness.Experiments.run_all ~quick () in
@@ -619,8 +732,10 @@ let () =
   let batch_ok = write_batch_snapshot () in
   let reads_ok = write_reads_snapshot () in
   let trace_ok = write_trace_snapshot () in
+  let fleet_ok = write_fleet_snapshot () in
   run_microbenches ();
-  if Cp_harness.Outcome.all_pass outcomes && batch_ok && reads_ok && trace_ok then
+  if Cp_harness.Outcome.all_pass outcomes && batch_ok && reads_ok && trace_ok && fleet_ok
+  then
     print_endline "\nALL CLAIMS REPRODUCED"
   else begin
     print_endline "\nSOME CLAIMS FAILED";

@@ -61,7 +61,7 @@ let csv_arg =
     & info [ "csv" ] ~docv:"DIR" ~doc:"Also write every table as CSV into $(docv).")
 
 let experiments_cmd =
-  let doc = "Run the evaluation suite (all tables; see DESIGN.md section 5)." in
+  let doc = "Run the evaluation suite (all tables; see DESIGN.md section 7)." in
   Cmd.v
     (Cmd.info "experiments" ~doc)
     Term.(
@@ -69,8 +69,63 @@ let experiments_cmd =
           Stdlib.exit (run_experiments quick (List.map String.lowercase_ascii only) csv))
       $ quick_flag $ only_arg $ csv_arg)
 
+(* Multi-group variant of the demo: one machine set hosting [groups]
+   key-sharded Cheap Paxos groups behind a {!Cp_fleet.Group_mux}, clients
+   routed per-command by key. Prints the per-group leaders, shard spread,
+   and the per-group frame counts on the shared auxiliary. *)
+let run_fleet_demo seed trace trace_jsonl trace_chrome params read_ratio groups =
+  let module Fleet = Cp_fleet.Fleet in
+  let module Engine = Cp_sim.Engine in
+  let initial = Cheap_paxos.Cheap.initial_config ~f:1 in
+  let fleet =
+    Fleet.create ~seed ~params ~groups ~policy:Cheap_paxos.Cheap.policy ~initial
+      ~app:(module Cp_smr.Kv) ()
+  in
+  if trace then
+    Engine.on_event (Fleet.engine fleet) (fun r ->
+        Format.printf "%a@." Cp_obs.Trace.pp_record r);
+  let handles =
+    List.init 4 (fun i ->
+        let rng = Cp_util.Rng.create (seed + (31 * i)) in
+        let ops = Cp_workload.Workload.kv_ops ~rng ~keys:64 ~read_ratio ~count:60 () in
+        Fleet.add_client fleet ~think:1e-3 ~is_read:Cp_smr.Kv.read_only ~ops ())
+  in
+  let finished =
+    Fleet.run_until fleet ~deadline:10. (fun () ->
+        List.for_all (fun (_, c) -> Cp_smr.Client.is_finished c) handles)
+  in
+  let done_count =
+    List.fold_left (fun acc (_, c) -> acc + Cp_smr.Client.done_count c) 0 handles
+  in
+  Printf.printf "\nfinished=%b ops=%d groups=%d\n" finished done_count groups;
+  List.iter
+    (fun gid ->
+      let leader =
+        match Fleet.leader fleet ~gid with Some l -> string_of_int l | None -> "none"
+      in
+      let chosen = Fleet.sum_group_metric fleet ~ids:(Fleet.mains fleet) ~gid "chosen" in
+      let lease_reads =
+        Fleet.sum_group_metric fleet ~ids:(Fleet.mains fleet) ~gid "lease_reads"
+      in
+      Printf.printf "group %d: leader=%s chosen=%d lease_reads=%d\n" gid leader chosen
+        lease_reads)
+    (List.init groups Fun.id);
+  List.iter
+    (fun (aux, gid, n) -> Printf.printf "aux %d group %d: frames received=%d\n" aux gid n)
+    (Fleet.aux_group_recv fleet);
+  let dump path render what =
+    let records = Cp_obs.Trace.merge (Engine.traces (Fleet.engine fleet)) in
+    let oc = open_out path in
+    output_string oc (render records);
+    Printf.printf "wrote %s trace for %d records to %s\n" what (List.length records) path;
+    close_out oc
+  in
+  Option.iter (fun p -> dump p Cp_obs.Trace.to_jsonl "jsonl") trace_jsonl;
+  Option.iter (fun p -> dump p Cp_obs.Timeline.to_chrome "Chrome") trace_chrome;
+  if finished then 0 else 1
+
 let run_demo seed trace trace_jsonl trace_chrome batch pipeline linger read_ratio lease
-    gap_threshold =
+    gap_threshold groups =
   let module Cluster = Cp_runtime.Cluster in
   let module Faults = Cp_runtime.Faults in
   let initial = Cheap_paxos.Cheap.initial_config ~f:1 in
@@ -84,6 +139,8 @@ let run_demo seed trace trace_jsonl trace_chrome batch pipeline linger read_rati
       gap_threshold;
     }
   in
+  if groups > 1 then run_fleet_demo seed trace trace_jsonl trace_chrome params read_ratio groups
+  else
   let cluster =
     Cluster.create ~seed ~params ~policy:Cheap_paxos.Cheap.policy ~initial
       ~app:(module Cp_smr.Kv) ()
@@ -199,11 +256,22 @@ let demo_cmd =
             "How many instances a replica lets its chosen prefix trail a peer's \
              announced commit point before actively requesting catch-up.")
   in
+  let groups =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "groups" ] ~docv:"N"
+          ~doc:
+            "Host $(docv) key-sharded Cheap Paxos groups on the same machine set \
+             (one shared auxiliary). With N > 1 the demo runs the fleet runtime: \
+             routed clients, per-group leaders, per-group auxiliary quiescence.")
+  in
   Cmd.v (Cmd.info "demo" ~doc)
     Term.(
-      const (fun s t j c b p l r le g -> Stdlib.exit (run_demo s t j c b p l r le g))
+      const (fun s t j c b p l r le g gr ->
+          Stdlib.exit (run_demo s t j c b p l r le g gr))
       $ seed $ trace $ trace_jsonl $ trace_chrome $ batch $ pipeline $ linger
-      $ read_ratio $ lease $ gap_threshold)
+      $ read_ratio $ lease $ gap_threshold $ groups)
 
 (* ------------------------------------------------------------------ *)
 (* Real multi-process cluster: `node` runs one machine over UDP,      *)

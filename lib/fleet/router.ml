@@ -1,0 +1,68 @@
+(* Key-space router: which replica group owns a client key.
+
+   Keys hash onto a fixed table of [nslots] hash slots and the table maps
+   slots to group ids (the Redis-cluster shape), so rebalancing is "reassign
+   some slots", not "rehash the world": a slot can be handed to another
+   group without moving any other key, and the table itself is the unit of
+   distribution to clients.
+
+   The hash is FNV-1a, written out here rather than [Hashtbl.hash], because
+   routing must be a pure function of the bytes of the key: the same key
+   must land on the same group across process restarts, OCaml versions, and
+   machines, or a restarted client would scatter a key's commands over
+   several groups' logs. *)
+
+type t = { table : int array (* slot -> group id *) }
+
+let default_slots = 1024
+
+(* 32-bit FNV-1a, kept in OCaml's int range. *)
+let fnv_offset = 0x811c9dc5
+let fnv_prime = 0x01000193
+let mask32 = 0xffffffff
+
+let hash key =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * fnv_prime land mask32)
+    key;
+  !h
+
+let of_table table =
+  if Array.length table = 0 then invalid_arg "Router.of_table: empty table";
+  Array.iter
+    (fun g -> if g < 0 then invalid_arg "Router.of_table: negative group id")
+    table;
+  { table = Array.copy table }
+
+(* Striped assignment: slot s -> s mod groups. Every group gets within one
+   slot of [nslots / groups]. *)
+let create ?(nslots = default_slots) ~groups () =
+  if groups <= 0 then invalid_arg "Router.create: need at least one group";
+  if nslots < groups then invalid_arg "Router.create: fewer slots than groups";
+  { table = Array.init nslots (fun s -> s mod groups) }
+
+let nslots t = Array.length t.table
+
+let groups t = Array.fold_left (fun acc g -> max acc (g + 1)) 0 t.table
+
+let table t = Array.copy t.table
+
+let assign t ~slot ~group =
+  if slot < 0 || slot >= Array.length t.table then invalid_arg "Router.assign: bad slot";
+  if group < 0 then invalid_arg "Router.assign: negative group id";
+  t.table.(slot) <- group
+
+let slot_of_key t key = hash key mod Array.length t.table
+
+let group_of_key t key = t.table.(slot_of_key t key)
+
+(* Commands are the flat "VERB key ..." strings the apps parse ({!Cp_smr.Kv}
+   and friends); the routing key is the first argument. A command with no
+   argument routes by the whole op — deterministic, if arbitrary. *)
+let key_of_op op =
+  match String.split_on_char ' ' op with
+  | _verb :: key :: _ when key <> "" -> key
+  | _ -> op
+
+let group_of_op t op = group_of_key t (key_of_op op)

@@ -1,0 +1,45 @@
+(** Key-space router: maps client keys onto replica group ids.
+
+    Keys hash (FNV-1a — a pure function of the key bytes, so routing is
+    stable across restarts, machines, and OCaml versions) onto a fixed
+    table of hash slots; the table maps slots to groups. Rebalancing is
+    {!assign} of individual slots — no other key moves. *)
+
+type t
+
+val default_slots : int
+(** 1024. *)
+
+val create : ?nslots:int -> groups:int -> unit -> t
+(** The canonical striped table: slot [s] belongs to group [s mod groups],
+    so groups are balanced to within one slot. *)
+
+val of_table : int array -> t
+(** A pluggable shard map: entry [s] is the owning group of slot [s]. The
+    array is copied. Raises [Invalid_argument] on an empty table or a
+    negative group id. *)
+
+val table : t -> int array
+(** The current slot table (a copy) — the unit of distribution to clients. *)
+
+val assign : t -> slot:int -> group:int -> unit
+(** Rebalance: hand one slot to another group. *)
+
+val nslots : t -> int
+
+val groups : t -> int
+(** [1 +] the largest group id in the table. *)
+
+val hash : string -> int
+(** 32-bit FNV-1a of the key bytes (exposed for tests). *)
+
+val slot_of_key : t -> string -> int
+
+val group_of_key : t -> string -> int
+
+val key_of_op : string -> string
+(** The routing key of a flat ["VERB key ..."] command string: its first
+    argument, or the whole op if it has none. *)
+
+val group_of_op : t -> string -> int
+(** [group_of_key t (key_of_op op)]. *)

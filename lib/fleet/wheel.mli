@@ -1,0 +1,46 @@
+(** Hierarchical timer wheel: O(1) [add]/[cancel] for the many-timers,
+    many-groups regime.
+
+    One node hosting N replica groups re-arms tick and retransmission timers
+    constantly; the sim engine's global heap and the UDP node's sorted list
+    both pay O(pending) per operation for that. The wheel hashes timers into
+    fixed slot rings (one ring per granularity level, each [slots] times
+    coarser than the last), drains level-0 slots as time advances, and
+    cascades a coarser slot down whenever a finer ring wraps.
+
+    The wheel is clockless: the owner drives it via {!advance} with its own
+    notion of time (virtual or wall), so firing is deterministic under the
+    simulator. Timers never fire early; quantization can delay a firing by
+    at most one [tick]. *)
+
+type 'a t
+
+val create : ?tick:float -> ?slots:int -> ?levels:int -> now:float -> unit -> 'a t
+(** [tick] is the level-0 granularity in seconds (default 2.5e-4 — ¼ of the
+    protocol tick), [slots] the ring size per level (default 64), [levels]
+    the ring count (default 3, horizon [slots]{^levels} ticks ≈ 65 s at the
+    defaults; later deadlines sit in an overflow list until the outermost
+    ring wraps). [now] anchors the cursor. *)
+
+val add : 'a t -> at:float -> 'a -> int
+(** Register a timer due at absolute time [at] (may be in the past: it
+    fires on the next {!advance}); returns its id. O(1). *)
+
+val cancel : 'a t -> int -> unit
+(** Cancel by id; no-op if unknown or already fired. O(1). *)
+
+val live : 'a t -> int
+(** Pending (added, not yet fired or cancelled) timer count. *)
+
+val next_deadline : 'a t -> float option
+(** The earliest pending timer's {e quantized fire time} (a multiple of
+    [tick], never before the requested deadline) — what the owner should
+    sleep until / arm its single upstream timer for; waking exactly then
+    and calling {!advance} is guaranteed to fire it. O(slots · levels)
+    slot probes plus the overflow length; [None] when nothing pends. *)
+
+val advance : 'a t -> now:float -> fire:(int -> 'a -> unit) -> unit
+(** Move the cursor up to [now], invoking [fire id payload] for every timer
+    that came due, in deadline order (FIFO among equal deadlines). [fire]
+    may add or cancel timers; timers it adds at or before [now] fire within
+    the same call. *)

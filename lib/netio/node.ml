@@ -1,25 +1,30 @@
 module Engine = Cp_sim.Engine
 module Types = Cp_proto.Types
 module Codec = Cp_proto.Codec
+module Wheel = Cp_fleet.Wheel
 module Obs = Cp_obs
 
-type timer = {
-  deadline : float;
-  tid : int;
-  tag : string;
-  mutable cancelled : bool;
+(* One hosted replica group. Group 0 is the node's primary (built by
+   [create]; its frames stay in the ungrouped pre-fleet format, so a plain
+   node and a fleet node interoperate); further groups are added with
+   [add_group] and speak grouped frames. [g_tctx] is the group's minting
+   origin for fresh causal chains — for group 0 it IS the node's ambient
+   context, for others a namespaced one (see {!Cp_obs.Traceid.namespace}). *)
+type group = {
+  g_handlers : Types.msg Engine.handlers;
+  g_tctx : Obs.Traceid.t;
 }
 
 type t = {
   id : int;
+  seed : int;
   sock : Unix.file_descr;
   addr_of : int -> Unix.sockaddr;
   id_of_port : int -> int;
   lock : Mutex.t;
   cond : Condition.t; (* wakes the timer thread when an earlier timer lands *)
-  mutable timers : timer list; (* sorted by deadline *)
-  mutable next_tid : int;
-  mutable handlers : Types.msg Engine.handlers option;
+  wheel : (int * string) Wheel.t; (* all groups' timers; payload (gid, tag) *)
+  groups : (int, group) Hashtbl.t;
   mutable stopping : bool;
   mutable threads : Thread.t list;
   start : float;
@@ -46,16 +51,28 @@ let emit_ev t ev =
   if Obs.Trace.dropped t.trace_ > dropped0 then
     Cp_sim.Metrics.incr t.metrics "ring_dropped"
 
-let send t dst msg =
+(* Start a fresh causal chain minted from a group's origin and make it the
+   node's ambient id (a no-op re-set for group 0, whose origin IS the
+   ambient context). *)
+let fresh_chain t g_tctx =
+  let id = Obs.Traceid.mint g_tctx in
+  Obs.Traceid.set t.tctx id;
+  id
+
+let send t ~gid ~g_tctx dst msg =
   (* Client submissions start a fresh causal chain; everything else carries
      the chain of the event being handled. The id rides the wire as a
-     traced-frame suffix (see {!Cp_proto.Codec.encode_traced}). *)
+     traced-frame suffix; non-zero groups additionally prefix their group
+     id (see {!Cp_proto.Codec.encode_grouped}). *)
   let tid =
     match Types.classify msg with
-    | "client_req" | "client_read" -> Obs.Traceid.mint t.tctx
+    | "client_req" | "client_read" -> fresh_chain t g_tctx
     | _ -> Obs.Traceid.current t.tctx
   in
-  let payload = Codec.encode_traced_with t.scratch ~tid msg in
+  let payload =
+    if gid = 0 then Codec.encode_traced_with t.scratch ~tid msg
+    else Codec.encode_grouped_with t.scratch ~gid ~tid msg
+  in
   Cp_sim.Metrics.incr t.metrics "msgs_sent";
   Cp_sim.Metrics.incr t.metrics ~by:(String.length payload) "bytes_sent";
   Cp_sim.Metrics.incr t.metrics ~by:(String.length payload) "encoded_bytes";
@@ -66,25 +83,16 @@ let send t dst msg =
          (t.addr_of dst))
   with Unix.Unix_error _ -> () (* unreachable peer = lost datagram *)
 
-let insert_timer t timer =
-  let rec go = function
-    | [] -> [ timer ]
-    | x :: rest as l -> if timer.deadline < x.deadline then timer :: l else x :: go rest
-  in
-  t.timers <- go t.timers
-
-(* Must be called with the lock held. *)
-let set_timer t ?(tag = "") delay =
-  t.next_tid <- t.next_tid + 1;
-  let timer =
-    { deadline = now t +. delay; tid = t.next_tid; tag; cancelled = false }
-  in
-  insert_timer t timer;
+(* Must be called with the lock held. All groups share the wheel: adding or
+   cancelling a timer is O(1) however many groups the node hosts, and the
+   timer thread sleeps toward one deadline — the wheel's next — instead of
+   scanning a per-group structure. *)
+let set_timer t ~gid ?(tag = "") delay =
+  let wid = Wheel.add t.wheel ~at:(now t +. Float.max 0. delay) (gid, tag) in
   Condition.signal t.cond;
-  timer.tid
+  wid
 
-let cancel_timer t tid =
-  List.iter (fun timer -> if timer.tid = tid then timer.cancelled <- true) t.timers
+let cancel_timer t wid = Wheel.cancel t.wheel wid
 
 (* Must be called with the lock held. An exception escaping a protocol
    handler (or the port→id map) must not kill the dispatch thread — and in
@@ -97,13 +105,23 @@ let guard t ~where f =
     emit_ev t
       (Obs.Event.Debug (Printf.sprintf "%s raised: %s" where (Printexc.to_string exn)))
 
+let fire_timer t wid (gid, tag) =
+  match Hashtbl.find_opt t.groups gid with
+  | None -> () (* group removed: stale timer *)
+  | Some g ->
+    (* A timer step starts a fresh causal chain, as in the sim — minted
+       from the owning group's origin. *)
+    ignore (fresh_chain t g.g_tctx);
+    guard t ~where:(Printf.sprintf "on_timer %S" tag) (fun () ->
+        g.g_handlers.Engine.on_timer ~tid:wid ~tag)
+
 let timer_loop t =
   Mutex.lock t.lock;
   while not t.stopping do
-    match t.timers with
-    | [] -> Condition.wait t.cond t.lock
-    | timer :: rest ->
-      let wait = timer.deadline -. now t in
+    match Wheel.next_deadline t.wheel with
+    | None -> Condition.wait t.cond t.lock
+    | Some deadline ->
+      let wait = deadline -. now t in
       if wait > 0. then begin
         (* Sleep in small slices so cancellation and shutdown stay timely;
            Condition has no timed wait in the stdlib. *)
@@ -111,18 +129,7 @@ let timer_loop t =
         Thread.delay (Float.min wait 2e-3);
         Mutex.lock t.lock
       end
-      else begin
-        t.timers <- rest;
-        if not timer.cancelled then begin
-          match t.handlers with
-          | Some h ->
-            (* A timer step starts a fresh causal chain, as in the sim. *)
-            ignore (Obs.Traceid.mint t.tctx);
-            guard t ~where:(Printf.sprintf "on_timer %S" timer.tag) (fun () ->
-                h.Engine.on_timer ~tid:timer.tid ~tag:timer.tag)
-          | None -> ()
-        end
-      end
+      else Wheel.advance t.wheel ~now:(now t) ~fire:(fun wid p -> fire_timer t wid p)
   done;
   Mutex.unlock t.lock
 
@@ -139,13 +146,14 @@ let recv_loop t =
       | exception Unix.Unix_error _ -> loop ()
       | len, peer ->
         (* Decode outside the lock (it touches no shared state); charge the
-           duration to the "decode" profiler stage once inside. *)
+           duration to the "decode" profiler stage once inside. A grouped
+           frame names its group; plain and traced frames are group 0. *)
         let d0 = Unix.gettimeofday () in
-        let decoded = Codec.decode_traced (Bytes.sub_string buf 0 len) in
+        let decoded = Codec.decode_grouped (Bytes.sub_string buf 0 len) in
         let decode_ns = int_of_float ((Unix.gettimeofday () -. d0) *. 1e9) in
         (match decoded with
         | Error _ -> () (* junk datagram: drop *)
-        | Ok (msg, trace) ->
+        | Ok (gid, msg, trace) ->
           Mutex.lock t.lock;
           Fun.protect
             ~finally:(fun () -> Mutex.unlock t.lock)
@@ -168,21 +176,23 @@ let recv_loop t =
               match src with
               | None -> () (* unknown peer: drop *)
               | Some src -> (
-                let kind = Types.classify msg in
-                Cp_sim.Metrics.incr t.metrics ~by:decode_ns "prof.decode.ns";
-                Cp_sim.Metrics.incr t.metrics "prof.decode.n";
-                Cp_sim.Metrics.incr t.metrics "msgs_recv";
-                Cp_sim.Metrics.incr t.metrics ~by:len "bytes_recv";
-                Cp_sim.Metrics.incr t.metrics ("recv." ^ kind);
-                (* Everything the handler emits/sends continues the
-                   datagram's causal chain. *)
-                Obs.Traceid.adopt t.tctx trace;
-                emit_ev t (Obs.Event.Msg_recv { src; kind; bytes = len });
-                match t.handlers with
-                | Some h ->
+                match Hashtbl.find_opt t.groups gid with
+                | None ->
+                  (* Misrouted or not-yet-added group: count and drop. *)
+                  Cp_sim.Metrics.incr t.metrics "mux_unknown_group"
+                | Some g ->
+                  let kind = Types.classify msg in
+                  Cp_sim.Metrics.incr t.metrics ~by:decode_ns "prof.decode.ns";
+                  Cp_sim.Metrics.incr t.metrics "prof.decode.n";
+                  Cp_sim.Metrics.incr t.metrics "msgs_recv";
+                  Cp_sim.Metrics.incr t.metrics ~by:len "bytes_recv";
+                  Cp_sim.Metrics.incr t.metrics ("recv." ^ kind);
+                  (* Everything the handler emits/sends continues the
+                     datagram's causal chain. *)
+                  Obs.Traceid.adopt t.tctx trace;
+                  emit_ev t (Obs.Event.Msg_recv { src; kind; bytes = len });
                   guard t ~where:("on_message " ^ kind) (fun () ->
-                      h.Engine.on_message ~src msg)
-                | None -> ())));
+                      g.g_handlers.Engine.on_message ~src msg))));
         loop ()
     end
   in
@@ -205,6 +215,35 @@ let admin_response t path =
     (200, "application/json", Obs.Timeline.to_chrome records)
   | _ -> (404, "text/plain", "not found\n")
 
+(* A single [write_substring] may stop short once the response outgrows the
+   socket send buffer (a /timeline or /metrics body easily does): loop until
+   every byte is out. EPIPE/ECONNRESET mean the scraper hung up — give up on
+   this response, but don't let the exception escape to the accept loop. *)
+let rec write_all fd s off len =
+  if len > 0 then begin
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (EINTR, _, _) -> write_all fd s off len
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) -> ()
+  end
+
+(* Symmetrically, one [recv] may return before the request line is complete
+   (or split across segments on a non-local connection): read until the
+   first line terminator. Bounded, and cut short by the client socket's
+   receive timeout, so a dribbling client cannot wedge the accept thread. *)
+let read_request_line client =
+  let buf = Bytes.create 2048 in
+  let rec go acc =
+    if String.contains acc '\n' || String.length acc > 8192 then acc
+    else begin
+      match Unix.recv client buf 0 (Bytes.length buf) [] with
+      | 0 -> acc
+      | n -> go (acc ^ Bytes.sub_string buf 0 n)
+      | exception Unix.Unix_error _ -> acc
+    end
+  in
+  go ""
+
 (* Minimal HTTP/1.0 server for scrapes and debugging: one request per
    connection, GET only, served inline on the accept thread. The listener
    carries a receive timeout so accept wakes to observe [stopping]. *)
@@ -215,9 +254,8 @@ let admin_loop t sock =
     | exception Unix.Unix_error _ -> ()
     | client, _peer ->
       (try
-         let buf = Bytes.create 2048 in
-         let n = try Unix.recv client buf 0 (Bytes.length buf) [] with _ -> 0 in
-         let req = if n > 0 then Bytes.sub_string buf 0 n else "" in
+         Unix.setsockopt_float client Unix.SO_RCVTIMEO 1.0;
+         let req = read_request_line client in
          let path =
            match String.split_on_char ' ' req with _ :: p :: _ -> p | _ -> "/"
          in
@@ -228,13 +266,42 @@ let admin_loop t sock =
              "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
              status ctype (String.length body) body
          in
-         ignore (Unix.write_substring client resp 0 (String.length resp))
+         write_all client resp 0 (String.length resp)
        with _ -> ());
       (try Unix.close client with Unix.Unix_error _ -> ())
   done
 
+(* The fabricated capability record for one hosted group. Each group gets
+   its own RNG stream and in-memory stable store; [now], metrics, the trace
+   ring, and the socket are the node's. *)
+let make_ctx t ~gid ~g_tctx =
+  {
+    Engine.self = t.id;
+    now = (fun () -> now t);
+    send = (fun dst msg -> send t ~gid ~g_tctx dst msg);
+    set_timer = (fun ?tag delay -> set_timer t ~gid ?tag delay);
+    cancel_timer = (fun wid -> cancel_timer t wid);
+    rng = Cp_util.Rng.create ((t.seed * 1009) + t.id + (gid * 7919));
+    stable = Cp_sim.Stable.create ();
+    metrics = t.metrics;
+    emit = (fun ev -> emit_ev t ev);
+    tctx = g_tctx;
+  }
+
+let add_group t ~gid ~build =
+  if gid <= 0 then invalid_arg "Node.add_group: gid must be positive (0 is the primary)";
+  with_lock t (fun () ->
+      if Hashtbl.mem t.groups gid then
+        invalid_arg (Printf.sprintf "Node.add_group: duplicate gid %d" gid);
+      let g_tctx =
+        Obs.Traceid.create ~origin:(Obs.Traceid.namespace ~node:t.id ~group:gid)
+      in
+      let ctx = make_ctx t ~gid ~g_tctx in
+      let handlers = build ctx in
+      Hashtbl.replace t.groups gid { g_handlers = handlers; g_tctx })
+
 let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity)
-    ?admin_port ~port_of ~id_of_port ~id ~seed ~build () =
+    ?admin_port ?(wheel_tick = 1e-3) ~port_of ~id_of_port ~id ~seed ~build () =
   let inet = Unix.inet_addr_of_string host in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -244,6 +311,10 @@ let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity)
     match admin_port with
     | None -> None
     | Some port ->
+      (* A scraper that hangs up mid-response would otherwise SIGPIPE the
+         whole process; with the signal ignored the write raises EPIPE,
+         which [write_all] absorbs. *)
+      if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
       let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.setsockopt s Unix.SO_REUSEADDR true;
       Unix.setsockopt_float s Unix.SO_RCVTIMEO 0.05;
@@ -254,14 +325,14 @@ let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity)
   let t =
     {
       id;
+      seed;
       sock;
       addr_of = (fun dst -> Unix.ADDR_INET (inet, port_of dst));
       id_of_port;
       lock = Mutex.create ();
       cond = Condition.create ();
-      timers = [];
-      next_tid = 0;
-      handlers = None;
+      wheel = Wheel.create ~tick:wheel_tick ~now:0. ();
+      groups = Hashtbl.create 4;
       stopping = false;
       threads = [];
       start = Unix.gettimeofday ();
@@ -272,22 +343,9 @@ let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity)
       admin_sock;
     }
   in
-  let ctx =
-    {
-      Engine.self = id;
-      now = (fun () -> now t);
-      send =
-        (fun dst msg -> send t dst msg);
-      set_timer = (fun ?tag delay -> set_timer t ?tag delay);
-      cancel_timer = (fun tid -> cancel_timer t tid);
-      rng = Cp_util.Rng.create ((seed * 1009) + id);
-      stable = Cp_sim.Stable.create ();
-      metrics = t.metrics;
-      emit = (fun ev -> emit_ev t ev);
-    }
-  in
+  let ctx = make_ctx t ~gid:0 ~g_tctx:t.tctx in
   Mutex.lock t.lock;
-  t.handlers <- Some (build ctx);
+  Hashtbl.replace t.groups 0 { g_handlers = build ctx; g_tctx = t.tctx };
   Mutex.unlock t.lock;
   t.threads <-
     [ Thread.create timer_loop t; Thread.create recv_loop t ]

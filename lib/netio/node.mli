@@ -21,6 +21,7 @@ val create :
   ?host:string ->
   ?trace_capacity:int ->
   ?admin_port:int ->
+  ?wheel_tick:float ->
   port_of:(int -> int) ->
   id_of_port:(int -> int) ->
   id:int ->
@@ -36,12 +37,27 @@ val create :
     [emit] records into a bounded per-node trace ring of [trace_capacity]
     entries (default {!Cp_obs.Trace.default_capacity}).
 
+    Timers of every hosted group share one {!Cp_fleet.Wheel} behind the
+    timer thread — O(1) add/cancel regardless of group count — quantized
+    to [wheel_tick] seconds (default 1e-3).
+
     Outgoing frames carry the node's ambient causal trace id as a traced
     suffix ({!Cp_proto.Codec.encode_traced}); incoming frames' ids are
     adopted before the handler runs, so chains propagate across machines
     exactly as in the simulator. [admin_port], when given, additionally
     binds a TCP listener on [host:admin_port] serving a minimal HTTP
     endpoint — see {!admin_response}. *)
+
+val add_group : t -> gid:int -> build:(Cp_proto.Types.msg Cp_sim.Engine.ctx -> Cp_proto.Types.msg Cp_sim.Engine.handlers) -> unit
+(** Host an additional replica group on this node's socket, timer wheel,
+    and trace ring. The primary [build] of {!create} is group 0 and speaks
+    the ungrouped (pre-fleet) frame format; groups added here must have
+    [gid > 0] and exchange grouped frames ({!Cp_proto.Codec.encode_grouped})
+    with the same [gid] on their peers. Each group gets its own RNG stream,
+    in-memory stable store, and a namespaced trace-id origin
+    ({!Cp_obs.Traceid.namespace}), so {!Cp_obs.Timeline} joins distinguish
+    co-hosted groups. Datagrams for group ids never added are counted
+    ([mux_unknown_group]) and dropped. *)
 
 val run_for : t -> float -> unit
 (** Block the calling thread for that many wall-clock seconds while the

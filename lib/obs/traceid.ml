@@ -21,6 +21,23 @@ let make ~origin ~n = ((origin + 1) lsl shift) lor (n land ((1 lsl shift) - 1))
 
 let origin_of tid = (tid lsr shift) - 1
 
+(* Fleet namespacing: a machine hosting many replica groups mints each
+   group's chains from a distinct origin, so ids from co-hosted groups never
+   collide and the minting group is recoverable from any id. Plain node
+   origins stay below [group_stride], so the two spaces are disjoint. *)
+let group_stride = 4096
+
+let namespace ~node ~group =
+  if group < 0 || group >= group_stride - 1 then
+    invalid_arg "Traceid.namespace: group out of range";
+  if node < 0 then invalid_arg "Traceid.namespace: negative node";
+  ((node + 1) * group_stride) + group
+
+let split_origin origin =
+  if origin >= group_stride then
+    ((origin / group_stride) - 1, Some (origin mod group_stride))
+  else (origin, None)
+
 type t = {
   origin : int;
   mutable current : int; (* id stamped on emissions/sends; 0 = none *)

@@ -16,6 +16,21 @@ val make : origin:int -> n:int -> int
 val origin_of : int -> int
 (** The node that minted an id made by {!make}. *)
 
+val group_stride : int
+(** 4096: plain origins below it and namespaced origins at or above it are
+    disjoint ranges. *)
+
+val namespace : node:int -> group:int -> int
+(** A synthetic origin for replica group [group] hosted on machine [node],
+    disjoint from every plain node origin and every other (node, group)
+    pair — the fleet mints each group's timer-driven chains from this, so
+    {!Obs.Timeline} joins stay unambiguous with many groups per process.
+    [group] must be in [0, 4094]. *)
+
+val split_origin : int -> int * int option
+(** Invert {!namespace}: [(node, Some group)] for namespaced origins,
+    [(origin, None)] for plain ones. *)
+
 type t
 (** Mutable per-node context: the current id plus a mint counter. Owned by
     the runtime; survives crash/restart of the node's protocol state. *)

@@ -11,7 +11,10 @@
 
 let write_varint buf n =
   (* Zig-zag so that small negative ints (round = -1 in Ballot.bottom) stay
-     short. *)
+     short. The zig-zagged value is treated as an unsigned 63-bit quantity:
+     [lsr] in the loop makes a negative [z] (bit 62 set, i.e. the zig-zag of
+     an int near min_int/max_int) shift down as unsigned, so the full native
+     range encodes in at most 9 bytes. *)
   let z = (n lsl 1) lxor (n asr 62) in
   let rec go z =
     if z land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr (z land 0x7f))
@@ -20,7 +23,7 @@ let write_varint buf n =
       go (z lsr 7)
     end
   in
-  go (z land max_int)
+  go z
 
 let write_string buf s =
   write_varint buf (String.length s);
@@ -211,9 +214,12 @@ let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
 let read_varint s ~pos =
   let n = String.length s in
+  (* The encoder emits at most 9 bytes (63 zig-zag bits, 7 per byte, the
+     last byte carrying bits 56-62), so the last legal continuation leaves
+     [shift] = 56; anything longer is an overlong/corrupt encoding. *)
   let rec go pos shift acc =
     if pos >= n then Error "varint: truncated"
-    else if shift > 62 then Error "varint: too long"
+    else if shift > 56 then Error "varint: too long"
     else begin
       let byte = Char.code s.[pos] in
       let acc = acc lor ((byte land 0x7f) lsl shift) in
@@ -349,12 +355,13 @@ let read_snapshot s ~pos =
   let* pending_configs, pos = read_list read_iconfig s ~pos in
   Ok ({ Types.next_instance; app_state; sessions; base_config; pending_configs }, pos)
 
-(* Parse one message from the head of [s]; returns the message and the
-   cursor past it. [decode] requires the cursor to land exactly on the end;
-   [decode_traced] allows a trace suffix after it. *)
-let decode_prefix s =
+(* Parse one message starting at [pos]; returns the message and the cursor
+   past it. [decode] requires the cursor to land exactly on the end;
+   [decode_traced] allows a trace suffix after it, and [decode_grouped] a
+   group-id prefix before it. *)
+let decode_prefix ?(pos = 0) s =
   let result =
-    let* tag, pos = read_tag s ~pos:0 in
+    let* tag, pos = read_tag s ~pos in
     match tag with
     | 0 ->
       let* ballot, pos = read_ballot s ~pos in
@@ -472,8 +479,8 @@ let encode_traced_with (scratch : scratch) ~tid msg =
   encode_traced_into scratch ~tid msg;
   Buffer.contents scratch
 
-let decode_traced s =
-  match decode_prefix s with
+let decode_traced_at ?pos s =
+  match decode_prefix ?pos s with
   | Error m -> Error m
   | Ok (msg, pos) ->
     let len = String.length s in
@@ -484,3 +491,50 @@ let decode_traced s =
       | Ok (tid, pos') ->
         if pos' = len then Ok (msg, tid) else Error "msg: trailing bytes"
     else Error "msg: trailing bytes"
+
+let decode_traced s = decode_traced_at s
+
+(* --- group framing ----------------------------------------------------- *)
+
+(* A grouped frame is a marker byte, a varint group id, then a complete
+   traced frame. The fleet runtimes use it to share one socket between many
+   replica groups: the receiver peels the group id off the front and
+   dispatches the inner frame to that group's core. The marker cannot begin
+   a valid message (tags stop at 16) and differs from {!trace_marker}, so
+   plain, traced, and grouped frames are mutually unambiguous;
+   [decode_grouped] accepts ungrouped frames as group 0, so a fleet node
+   interoperates with pre-fleet senders. *)
+let group_marker = '\xf6'
+
+let encode_grouped_into buf ~gid ~tid msg =
+  if gid < 0 then invalid_arg "Codec.encode_grouped: negative group id";
+  Buffer.add_char buf group_marker;
+  write_varint buf gid;
+  encode_traced_into buf ~tid msg
+
+let encode_grouped ~gid ~tid msg =
+  let buf = Buffer.create 64 in
+  encode_grouped_into buf ~gid ~tid msg;
+  Buffer.contents buf
+
+let encode_grouped_with (scratch : scratch) ~gid ~tid msg =
+  Buffer.clear scratch;
+  encode_grouped_into scratch ~gid ~tid msg;
+  Buffer.contents scratch
+
+let decode_grouped s =
+  if String.length s > 0 && s.[0] = group_marker then
+    match read_varint s ~pos:1 with
+    | Error m -> Error m
+    | Ok (gid, pos) ->
+      if gid < 0 then Error "group: negative id"
+      else begin
+        match decode_traced_at ~pos s with
+        | Error m -> Error m
+        | Ok (msg, tid) -> Ok (gid, msg, tid)
+      end
+  else begin
+    match decode_traced s with
+    | Error m -> Error m
+    | Ok (msg, tid) -> Ok (0, msg, tid)
+  end

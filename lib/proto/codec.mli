@@ -47,6 +47,23 @@ val encode_traced_with : scratch -> tid:int -> Types.msg -> string
 val decode_traced : string -> (Types.msg * int, string) result
 (** Returns the message and its trace id (0 when the frame has none). *)
 
+(** {1 Grouped frames}
+
+    A grouped frame is a marker byte, a varint group id, and then a complete
+    traced frame — the fleet multiplexers' wire format, letting every replica
+    group hosted by one process share a single socket. [decode_grouped]
+    accepts plain and traced frames as group 0, so fleet nodes interoperate
+    with pre-fleet senders; group 0 senders should keep emitting ungrouped
+    frames for the converse direction. *)
+
+val encode_grouped : gid:int -> tid:int -> Types.msg -> string
+(** Raises [Invalid_argument] on a negative [gid]. *)
+
+val encode_grouped_with : scratch -> gid:int -> tid:int -> Types.msg -> string
+
+val decode_grouped : string -> (int * Types.msg * int, string) result
+(** Returns (group id, message, trace id). *)
+
 (** {1 Primitives} (exposed for tests and for app snapshot codecs) *)
 
 val write_varint : Buffer.t -> int -> unit

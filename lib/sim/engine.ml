@@ -12,6 +12,7 @@ type 'm ctx = {
   stable : Stable.t;
   metrics : Metrics.t;
   emit : Obs.Event.t -> unit;
+  tctx : Obs.Traceid.t;
 }
 
 type 'm handlers = {
@@ -187,6 +188,7 @@ let make_ctx t node =
     stable = node.node_stable;
     metrics = node.node_metrics;
     emit = (fun ev -> emit_event t node ev);
+    tctx = node.node_tctx;
   }
 
 let start_node t node =

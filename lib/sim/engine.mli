@@ -30,6 +30,11 @@ type 'm ctx = {
   emit : Cp_obs.Event.t -> unit;
       (** record a typed protocol event in the node's bounded trace
           ({!trace}), stamped with virtual time and node id *)
+  tctx : Cp_obs.Traceid.t;
+      (** the node's ambient causal trace context — the id stamped on
+          emissions and sends. Exposed so multiplexers hosting several
+          protocol instances behind one node (the fleet's {!Group_mux}) can
+          re-point chains minted by their sub-instances onto it. *)
 }
 
 type 'm handlers = {

@@ -1,32 +1,60 @@
 type t = {
   data : (string, string) Hashtbl.t;
+  prefix : string; (* "" for the root store; see [sub] *)
   mutable writes : int;
   mutable traffic : int;
 }
 
-let create () = { data = Hashtbl.create 16; writes = 0; traffic = 0 }
+let create () = { data = Hashtbl.create 16; prefix = ""; writes = 0; traffic = 0 }
 
-let put t key v =
+(* A namespaced view sharing the root's table, so many logical stores (one
+   per replica group on a machine) live on one "disk" and survive together
+   across crash/restart. The separator byte cannot appear in a view name,
+   so namespaces cannot collide by concatenation. Write counters are
+   per-view: each group's storage traffic is observable on its own. *)
+let sub t ~name =
+  if String.contains name '\x00' then invalid_arg "Stable.sub: name contains NUL";
+  { data = t.data; prefix = t.prefix ^ name ^ "\x00"; writes = 0; traffic = 0 }
+
+let key t k = t.prefix ^ k
+
+let put t k v =
   let s = Marshal.to_string v [] in
-  Hashtbl.replace t.data key s;
+  Hashtbl.replace t.data (key t k) s;
   t.writes <- t.writes + 1;
   t.traffic <- t.traffic + String.length s
 
-let get t key =
-  match Hashtbl.find_opt t.data key with
+let get t k =
+  match Hashtbl.find_opt t.data (key t k) with
   | None -> None
   | Some s -> Some (Marshal.from_string s 0)
 
-let remove t key = Hashtbl.remove t.data key
+let remove t k = Hashtbl.remove t.data (key t k)
 
-let mem t key = Hashtbl.mem t.data key
+let mem t k = Hashtbl.mem t.data (key t k)
 
-let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.data [] |> List.sort String.compare
+let in_view t k =
+  String.length k >= String.length t.prefix
+  && String.sub k 0 (String.length t.prefix) = t.prefix
 
-let bytes_used t = Hashtbl.fold (fun _ s acc -> acc + String.length s) t.data 0
+let strip t k = String.sub k (String.length t.prefix) (String.length k - String.length t.prefix)
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> if in_view t k then strip t k :: acc else acc) t.data []
+  |> List.sort String.compare
+
+let bytes_used t =
+  Hashtbl.fold (fun k s acc -> if in_view t k then acc + String.length s else acc) t.data 0
 
 let write_count t = t.writes
 
 let bytes_written t = t.traffic
 
-let wipe t = Hashtbl.reset t.data
+let wipe t =
+  if t.prefix = "" then Hashtbl.reset t.data
+  else begin
+    let doomed =
+      Hashtbl.fold (fun k _ acc -> if in_view t k then k :: acc else acc) t.data []
+    in
+    List.iter (Hashtbl.remove t.data) doomed
+  end

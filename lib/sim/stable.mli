@@ -14,6 +14,15 @@ type t
 
 val create : unit -> t
 
+val sub : t -> name:string -> t
+(** A namespaced view of the same disk: keys written through the view are
+    invisible to the parent (and to sibling views with other names), but
+    live in the parent's table, so they share its crash/restart lifetime —
+    except {!wipe} of the {e root}, which erases every view. Used by the
+    fleet to give each replica group hosted on a machine its own logical
+    store. [name] must not contain a NUL byte. Write counters are
+    per-view. *)
+
 val put : t -> string -> 'a -> unit
 (** Persist [v] under [key], overwriting any previous value. *)
 

@@ -19,11 +19,19 @@ let split t =
   let s = next_raw t in
   { state = Int64.mul s 0xDA942042E4DD58B5L }
 
-let int t bound =
+(* Rejection sampling: [r mod bound] alone skews towards small residues
+   whenever bound does not divide 2^62 — enough to bias fault schedules and
+   [shuffle] for non-power-of-two bounds. Draw 62 uniform bits and retry the
+   (at most bound-1 out of 2^62) draws in the short tail; the comparison is
+   the stdlib [Random.int] overflow-free form. *)
+let max62 = (1 lsl 62) - 1
+
+let rec int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Keep 62 bits: a 63-bit value can overflow OCaml's native int range. *)
   let r = Int64.to_int (Int64.shift_right_logical (next_raw t) 2) in
-  r mod bound
+  let v = r mod bound in
+  if r - v > max62 - bound + 1 then int t bound else v
 
 (* 53 random bits scaled into [0, 1). *)
 let unit_float t =

@@ -175,17 +175,94 @@ let test_traced_scratch_matches () =
         (Codec.encode_traced_with scratch ~tid:77 msg))
     sample_msgs
 
+let varint_roundtrips n =
+  let buf = Buffer.create 10 in
+  Codec.write_varint buf n;
+  Buffer.length buf <= 9
+  &&
+  match Codec.read_varint (Buffer.contents buf) ~pos:0 with
+  | Ok (v, pos) -> v = n && pos = Buffer.length buf
+  | Error _ -> false
+
 let test_varint_edges () =
-  let roundtrip_int n =
-    let buf = Buffer.create 10 in
-    Codec.write_varint buf n;
-    match Codec.read_varint (Buffer.contents buf) ~pos:0 with
-    | Ok (v, pos) -> v = n && pos = Buffer.length buf
-    | Error _ -> false
+  List.iter
+    (fun n -> Alcotest.(check bool) (string_of_int n) true (varint_roundtrips n))
+    [ 0; 1; -1; 63; 64; -64; 127; 128; 300; -300; 1 lsl 20; -(1 lsl 20); 1 lsl 40 ]
+
+let test_varint_boundaries () =
+  (* Every byte-length edge of the zig-zag encoding, in both signs, plus the
+     extremes: the top bit of the 63-bit word must survive (a mask of
+     [land max_int] once dropped bit 62, truncating anything past 2^61). *)
+  let edges =
+    [ 0; 1; -1; max_int; max_int - 1; min_int; min_int + 1 ]
+    @ List.concat
+        (List.init 62 (fun s ->
+             [ 1 lsl s; (1 lsl s) - 1; -(1 lsl s); -(1 lsl s) - 1; -(1 lsl s) + 1 ]))
   in
   List.iter
-    (fun n -> Alcotest.(check bool) (string_of_int n) true (roundtrip_int n))
-    [ 0; 1; -1; 63; 64; -64; 127; 128; 300; -300; 1 lsl 20; -(1 lsl 20); 1 lsl 40 ]
+    (fun n -> Alcotest.(check bool) (string_of_int n) true (varint_roundtrips n))
+    edges
+
+let prop_varint_roundtrip =
+  (* Full-range 63-bit integers, weighted toward large magnitudes: bits
+     drawn uniformly, then shifted right by a random amount so every byte
+     length is exercised. *)
+  let gen =
+    QCheck.Gen.(
+      map2
+        (fun bits shift -> bits asr shift)
+        (map2 (fun a b -> (a lsl 32) lxor b) (int_bound ((1 lsl 30) - 1)) int)
+        (int_bound 62))
+  in
+  QCheck.Test.make ~name:"varint roundtrips any 63-bit int" ~count:2000
+    (QCheck.make gen) varint_roundtrips
+
+let test_grouped_roundtrip () =
+  let msg = Types.Commit { instance = 7; entry = Types.Noop } in
+  let scratch = Codec.create_scratch () in
+  List.iter
+    (fun gid ->
+      List.iter
+        (fun tid ->
+          let frame = Codec.encode_grouped ~gid ~tid msg in
+          Alcotest.(check string)
+            (Printf.sprintf "scratch gid=%d tid=%d" gid tid)
+            frame
+            (Codec.encode_grouped_with scratch ~gid ~tid msg);
+          match Codec.decode_grouped frame with
+          | Ok (gid', msg', tid') ->
+            Alcotest.(check int) "gid" gid gid';
+            Alcotest.(check int) "tid" tid tid';
+            Alcotest.(check bool) "msg" true (msg' = msg)
+          | Error e -> Alcotest.failf "grouped decode failed (gid=%d): %s" gid e)
+        [ 0; 9; 1 lsl 24 ])
+    [ 0; 1; 7; 4095; 1 lsl 20 ]
+
+let test_grouped_accepts_plain () =
+  (* Pre-fleet frames — plain and traced — are group 0 to a grouped reader. *)
+  let msg = Types.CommitFloor { upto = 3 } in
+  (match Codec.decode_grouped (Codec.encode msg) with
+  | Ok (0, m, 0) when m = msg -> ()
+  | Ok _ -> Alcotest.fail "plain frame misread"
+  | Error e -> Alcotest.failf "plain frame rejected: %s" e);
+  match Codec.decode_grouped (Codec.encode_traced ~tid:42 msg) with
+  | Ok (0, m, 42) when m = msg -> ()
+  | Ok _ -> Alcotest.fail "traced frame misread"
+  | Error e -> Alcotest.failf "traced frame rejected: %s" e
+
+let test_grouped_rejects_bad () =
+  (* Truncated group id. *)
+  (match Codec.decode_grouped "\xf6" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bare marker accepted");
+  (* Negative group id (zig-zag odd). *)
+  (match Codec.decode_grouped ("\xf6\x01" ^ Codec.encode (Types.CommitFloor { upto = 1 })) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative group id accepted");
+  (* Marker with no inner frame. *)
+  match Codec.decode_grouped "\xf6\x02" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty inner frame accepted"
 
 let test_size_model_sane () =
   (* The analytic size model budgets a transport header (16 B) plus 8 B per
@@ -252,6 +329,10 @@ let suite =
     Alcotest.test_case "traced rejects bad suffix" `Quick test_traced_rejects_bad_suffix;
     Alcotest.test_case "traced scratch encode matches" `Quick test_traced_scratch_matches;
     Alcotest.test_case "varint edges" `Quick test_varint_edges;
+    Alcotest.test_case "varint boundaries" `Quick test_varint_boundaries;
+    Alcotest.test_case "grouped roundtrip" `Quick test_grouped_roundtrip;
+    Alcotest.test_case "grouped accepts plain frames" `Quick test_grouped_accepts_plain;
+    Alcotest.test_case "grouped rejects bad frames" `Quick test_grouped_rejects_bad;
     Alcotest.test_case "size model sane" `Quick test_size_model_sane;
   ]
-  @ qsuite [ prop_roundtrip_generated ]
+  @ qsuite [ prop_roundtrip_generated; prop_varint_roundtrip ]

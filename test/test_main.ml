@@ -29,5 +29,6 @@ let () =
       ("netio-unit", Test_netio_unit.suite);
       ("obs", Test_obs.suite);
       ("timeline", Test_timeline.suite);
+      ("fleet", Test_fleet.suite);
       ("golden", Test_golden.suite);
     ]

@@ -276,6 +276,118 @@ let test_admin_endpoint () =
   Alcotest.(check bool) "HTTP status line" true (contains resp "HTTP/1.0 200 OK");
   Alcotest.(check bool) "HTTP body" true (contains resp "ok node=13")
 
+let test_admin_large_response () =
+  (* A /timeline body well past 64 KiB must arrive intact through the TCP
+     listener: the admin loop's write is not guaranteed to take the whole
+     buffer in one call (SO_SNDBUF is typically 64 KiB), so a short-write
+     loop is load-bearing here, not an edge case. *)
+  let admin_port = base + 301 in
+  let node =
+    Node.create ~port_of ~id_of_port ~id:14 ~seed:1 ~admin_port
+      ~build:(fun ctx ->
+        for i = 0 to 4999 do
+          ctx.Engine.emit (Cp_obs.Event.Command_executed { instance = i })
+        done;
+        { Engine.on_message = (fun ~src:_ _ -> ()); on_timer = (fun ~tid:_ ~tag:_ -> ()) })
+      ()
+  in
+  let _, _, expected = Node.admin_response node "/timeline" in
+  Alcotest.(check bool)
+    (Printf.sprintf "body is past 64 KiB (%d bytes)" (String.length expected))
+    true
+    (String.length expected > 65536);
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, admin_port));
+  let req = "GET /timeline HTTP/1.0\r\n\r\n" in
+  ignore (Unix.write_substring sock req 0 (String.length req));
+  let buf = Bytes.create 65536 in
+  let rec read_all acc =
+    match Unix.read sock buf 0 (Bytes.length buf) with
+    | 0 -> acc
+    | n -> read_all (acc ^ Bytes.sub_string buf 0 n)
+    | exception Unix.Unix_error _ -> acc
+  in
+  let resp = read_all "" in
+  Unix.close sock;
+  Node.shutdown node;
+  (* Split headers from body at the first blank line. *)
+  let body =
+    let rec find i =
+      if i + 4 > String.length resp then None
+      else if String.sub resp i 4 = "\r\n\r\n" then Some (i + 4)
+      else find (i + 1)
+    in
+    match find 0 with
+    | Some i -> String.sub resp i (String.length resp - i)
+    | None -> ""
+  in
+  Alcotest.(check int) "body length intact" (String.length expected) (String.length body);
+  Alcotest.(check bool) "body bytes intact" true (String.equal expected body)
+
+let test_multi_group_udp () =
+  (* Two groups per node share one UDP socket; grouped frames dispatch by
+     group id, group 0 keeps the pre-fleet format, and frames for a group a
+     node does not host are counted and dropped. *)
+  let got_g0 = ref 0 and got_g1 = ref (-1) and reply_g1 = ref (-1) in
+  let recv =
+    Node.create ~port_of ~id_of_port ~id:16 ~seed:1
+      ~build:(fun _ ->
+        {
+          Engine.on_message = (fun ~src:_ _ -> incr got_g0);
+          on_timer = (fun ~tid:_ ~tag:_ -> ());
+        })
+      ()
+  in
+  Node.add_group recv ~gid:1
+    ~build:(fun ctx ->
+      {
+        Engine.on_message =
+          (fun ~src msg ->
+            match msg with
+            | Types.CommitFloor { upto } ->
+              got_g1 := upto;
+              ctx.Engine.send src (Types.CommitFloor { upto = upto + 1 })
+            | _ -> ());
+        on_timer = (fun ~tid:_ ~tag:_ -> ());
+      })
+  ;
+  let sender =
+    Node.create ~port_of ~id_of_port ~id:17 ~seed:2
+      ~build:(fun _ ->
+        { Engine.on_message = (fun ~src:_ _ -> ()); on_timer = (fun ~tid:_ ~tag:_ -> ()) })
+      ()
+  in
+  Node.add_group sender ~gid:1
+    ~build:(fun ctx ->
+      ctx.Engine.send 16 (Types.CommitFloor { upto = 5 });
+      {
+        Engine.on_message =
+          (fun ~src:_ msg ->
+            match msg with Types.CommitFloor { upto } -> reply_g1 := upto | _ -> ());
+        on_timer = (fun ~tid:_ ~tag:_ -> ());
+      });
+  (* A group the receiver does not host: dropped and counted. *)
+  Node.add_group sender ~gid:2
+    ~build:(fun ctx ->
+      ctx.Engine.send 16 (Types.CommitFloor { upto = 99 });
+      { Engine.on_message = (fun ~src:_ _ -> ()); on_timer = (fun ~tid:_ ~tag:_ -> ()) });
+  let unknown () =
+    Node.with_lock recv (fun () -> Cp_sim.Metrics.get (Node.metrics recv) "mux_unknown_group")
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  while (!reply_g1 < 0 || unknown () < 1) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  let unknown_count = unknown () in
+  Node.shutdown recv;
+  Node.shutdown sender;
+  Alcotest.(check int) "group 1 payload delivered to group 1" 5 !got_g1;
+  Alcotest.(check int) "group 1 reply routed back" 6 !reply_g1;
+  Alcotest.(check int) "group 0 saw nothing" 0 !got_g0;
+  Alcotest.(check bool)
+    (Printf.sprintf "unknown group counted (%d)" unknown_count)
+    true (unknown_count >= 1)
+
 let test_shutdown_idempotent () =
   let node =
     Node.create ~port_of ~id_of_port ~id:4 ~seed:1
@@ -304,5 +416,7 @@ let suite =
     Alcotest.test_case "trace id propagates over udp" `Slow
       test_trace_id_propagates_over_udp;
     Alcotest.test_case "admin endpoint" `Slow test_admin_endpoint;
+    Alcotest.test_case "admin large response" `Slow test_admin_large_response;
+    Alcotest.test_case "multi group udp" `Slow test_multi_group_udp;
     Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
   ]
