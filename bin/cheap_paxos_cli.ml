@@ -73,13 +73,14 @@ let experiments_cmd =
    key-sharded Cheap Paxos groups behind a {!Cp_fleet.Group_mux}, clients
    routed per-command by key. Prints the per-group leaders, shard spread,
    and the per-group frame counts on the shared auxiliary. *)
-let run_fleet_demo seed trace trace_jsonl trace_chrome params read_ratio groups =
+let run_fleet_demo seed trace trace_jsonl trace_chrome params ?conflict_keys read_ratio
+    groups =
   let module Fleet = Cp_fleet.Fleet in
   let module Engine = Cp_sim.Engine in
   let initial = Cheap_paxos.Cheap.initial_config ~f:1 in
   let fleet =
-    Fleet.create ~seed ~params ~groups ~policy:Cheap_paxos.Cheap.policy ~initial
-      ~app:(module Cp_smr.Kv) ()
+    Fleet.create ~seed ~params ~groups ?conflict_keys ~policy:Cheap_paxos.Cheap.policy
+      ~initial ~app:(module Cp_smr.Kv) ()
   in
   if trace then
     Engine.on_event (Fleet.engine fleet) (fun r ->
@@ -125,7 +126,7 @@ let run_fleet_demo seed trace trace_jsonl trace_chrome params read_ratio groups 
   if finished then 0 else 1
 
 let run_demo seed trace trace_jsonl trace_chrome batch pipeline linger read_ratio lease
-    gap_threshold groups =
+    gap_threshold groups domains exec_par =
   let module Cluster = Cp_runtime.Cluster in
   let module Faults = Cp_runtime.Faults in
   let initial = Cheap_paxos.Cheap.initial_config ~f:1 in
@@ -137,12 +138,18 @@ let run_demo seed trace trace_jsonl trace_chrome batch pipeline linger read_rati
       batch_linger = linger;
       enable_leases = lease;
       gap_threshold;
+      exec_domains = (if exec_par then max domains 1 else 1);
     }
   in
-  if groups > 1 then run_fleet_demo seed trace trace_jsonl trace_chrome params read_ratio groups
+  (* With --exec-par the mains execute through the conflict-aware parallel
+     applier using the KV app's real key declarations. *)
+  let conflict_keys = if exec_par then Some Cp_smr.Kv.conflict_keys else None in
+  if groups > 1 then
+    run_fleet_demo seed trace trace_jsonl trace_chrome params ?conflict_keys read_ratio
+      groups
   else
   let cluster =
-    Cluster.create ~seed ~params ~policy:Cheap_paxos.Cheap.policy ~initial
+    Cluster.create ~seed ~params ?conflict_keys ~policy:Cheap_paxos.Cheap.policy ~initial
       ~app:(module Cp_smr.Kv) ()
   in
   if trace then
@@ -166,6 +173,15 @@ let run_demo seed trace trace_jsonl trace_chrome batch pipeline linger read_rati
     Printf.printf "lease reads served locally: %d (fallbacks to ordering: %d)\n"
       (Cluster.sum_metric cluster ~ids:(Cluster.mains cluster) "lease_reads")
       (Cluster.sum_metric cluster ~ids:(Cluster.mains cluster) "lease_read_fallbacks");
+  if exec_par then
+    Printf.printf
+      "parallel execution (%d domains): %d parallel windows, %d serial windows, %d \
+       conflict-serialized ops, %d barrier ops\n"
+      params.Cp_engine.Params.exec_domains
+      (Cluster.sum_metric cluster ~ids:(Cluster.mains cluster) "exec_parallel_batches")
+      (Cluster.sum_metric cluster ~ids:(Cluster.mains cluster) "exec_serial_batches")
+      (Cluster.sum_metric cluster ~ids:(Cluster.mains cluster) "exec_conflict_serialized")
+      (Cluster.sum_metric cluster ~ids:(Cluster.mains cluster) "exec_barrier_ops");
   (match trace_jsonl with
   | None -> ()
   | Some path ->
@@ -266,12 +282,31 @@ let demo_cmd =
              (one shared auxiliary). With N > 1 the demo runs the fleet runtime: \
              routed clients, per-group leaders, per-group auxiliary quiescence.")
   in
+  let domains =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker-domain count for $(b,--exec-par): commands on disjoint keys \
+             execute concurrently on up to $(docv) domains of the process pool.")
+  in
+  let exec_par =
+    Arg.(
+      value & flag
+      & info [ "exec-par" ]
+          ~doc:
+            "Execute chosen commands through the conflict-aware parallel applier \
+             (lib/exec) using the KV app's per-key conflict declarations, instead \
+             of the serial apply loop. Results are identical; the demo prints the \
+             parallel/serialized window counters.")
+  in
   Cmd.v (Cmd.info "demo" ~doc)
     Term.(
-      const (fun s t j c b p l r le g gr ->
-          Stdlib.exit (run_demo s t j c b p l r le g gr))
+      const (fun s t j c b p l r le g gr d ep ->
+          Stdlib.exit (run_demo s t j c b p l r le g gr d ep))
       $ seed $ trace $ trace_jsonl $ trace_chrome $ batch $ pipeline $ linger
-      $ read_ratio $ lease $ gap_threshold $ groups)
+      $ read_ratio $ lease $ gap_threshold $ groups $ domains $ exec_par)
 
 (* ------------------------------------------------------------------ *)
 (* Real multi-process cluster: `node` runs one machine over UDP,      *)
@@ -289,7 +324,7 @@ let base_port_arg =
 let f_arg =
   Arg.(value & opt int 1 & info [ "f" ] ~docv:"F" ~doc:"Fault tolerance (f+1 mains, f auxes).")
 
-let run_node id f base_port admin_port =
+let run_node id f base_port admin_port exec_domains =
   let initial = Cheap_paxos.Cheap.initial_config ~f in
   let universe_mains = List.init (f + 1) Fun.id in
   let universe_auxes = List.init f (fun i -> f + 1 + i) in
@@ -301,26 +336,42 @@ let run_node id f base_port admin_port =
       Stdlib.exit 2
     end
   in
+  let params =
+    { Cp_engine.Params.default with Cp_engine.Params.exec_domains } in
   let node =
-    Cp_netio.Node.create ?admin_port
+    Cp_netio.Node.create ?admin_port ~exec_domains
       ~port_of:(fun i -> base_port + i)
       ~id_of_port:(fun p -> p - base_port)
       ~id ~seed:(Unix.getpid ())
       ~build:(fun ctx ->
+        (* The applier runs on the process-shared pool, distinct from the
+           node's private dispatch pool, so a handler fanning a window out
+           never waits on its own worker. *)
+        let exec =
+          if role = Cp_engine.Replica.Main && exec_domains > 1 then
+            Some
+              (Cp_exec.Applier.create ~workers:exec_domains
+                 ~count:(fun name by -> Cp_sim.Metrics.incr ctx.Cp_sim.Engine.metrics ~by name)
+                 ~conflict_keys:Cp_smr.Kv.conflict_keys ())
+          else None
+        in
         let r =
-          Cp_engine.Replica.create ctx ~role ~policy:Cheap_paxos.Cheap.policy
-            ~params:Cp_engine.Params.default ~initial ~universe_mains ~universe_auxes
+          Cp_engine.Replica.create ?exec ctx ~role ~policy:Cheap_paxos.Cheap.policy
+            ~params ~initial ~universe_mains ~universe_auxes
             ~app:(module Cp_smr.Kv)
         in
         Cp_engine.Replica.handlers r)
       ()
   in
-  Printf.printf "machine %d (%s) serving on udp/127.0.0.1:%d%s — ctrl-c to stop\n%!" id
+  Printf.printf "machine %d (%s) serving on udp/127.0.0.1:%d%s%s — ctrl-c to stop\n%!" id
     (match role with Cp_engine.Replica.Main -> "main" | Aux -> "auxiliary")
     (base_port + id)
     (match admin_port with
     | Some p -> Printf.sprintf ", admin http on tcp/127.0.0.1:%d" p
-    | None -> "");
+    | None -> "")
+    (if exec_domains > 1 then
+       Printf.sprintf ", parallel dispatch+apply on %d domains" exec_domains
+     else "");
   let rec forever () =
     Cp_netio.Node.run_for node 3600.;
     forever ()
@@ -340,10 +391,21 @@ let node_cmd =
              /metrics (Prometheus text, including the pipeline profiler), and \
              /timeline (this node's event ring as Chrome trace-event JSON).")
   in
+  let exec_domains =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "exec-domains" ] ~docv:"N"
+          ~doc:
+            "With $(docv) > 1: dispatch this node's groups on a private pool of \
+             $(docv) worker domains and (on mains) execute chosen commands through \
+             the conflict-aware parallel applier at that width. Default 0 keeps \
+             the single-mutex runtime.")
+  in
   Cmd.v (Cmd.info "node" ~doc)
     Term.(
-      const (fun id f bp ap -> run_node id f bp ap)
-      $ id $ f_arg $ base_port_arg $ admin_port)
+      const (fun id f bp ap ed -> run_node id f bp ap ed)
+      $ id $ f_arg $ base_port_arg $ admin_port $ exec_domains)
 
 let run_client_op f base_port op =
   let universe_mains = List.init (f + 1) Fun.id in

@@ -23,6 +23,7 @@ type t = {
   queue_limit : int;
   profile : bool;
   span_ttl : float;
+  exec_domains : int;
 }
 
 let default =
@@ -51,6 +52,7 @@ let default =
     queue_limit = 4096;
     profile = true;
     span_ttl = 10.;
+    exec_domains = 1;
   }
 
 let scale k t =

@@ -74,7 +74,8 @@ let scan_log stable =
            | None -> None
          else None)
 
-let create ctx ~role ~policy ~params ~initial ~universe_mains ~universe_auxes ~app =
+let create ?exec ctx ~role ~policy ~params ~initial ~universe_mains ~universe_auxes
+    ~app =
   let stable = ctx.Engine.stable in
   let recovery =
     {
@@ -88,6 +89,9 @@ let create ctx ~role ~policy ~params ~initial ~universe_mains ~universe_auxes ~a
     Core.create ~self:ctx.Engine.self ~now:(ctx.Engine.now ()) ~rng:ctx.Engine.rng ~role
       ~policy ~params ~initial ~universe_mains ~universe_auxes ~app ~recovery
   in
+  (* Parallel applier, if any: overrides the learner's batch hook. Recovery
+     replay above ran serially, which is always equivalent. *)
+  Option.iter (fun a -> Cp_exec.Applier.attach a core.State.app) exec;
   let prof =
     if params.Params.profile then
       Obs.Prof.create ~clock:ctx.Engine.now

@@ -1,0 +1,156 @@
+(* Conflict-aware parallel applier.
+
+   [batch_apply] takes one window of commands in log order (the learner
+   concatenates consecutive chosen batches into a window, so parallelism
+   spans batch boundaries) and returns their results indexed like the
+   input — observationally identical to serial application, provided the
+   app's conflict declaration is sound.
+
+   Schedule (see {!Deps}): single-worker ops are routed to the worker
+   their keys hash to, so every chain of conflicting ops shares a worker
+   and the per-worker FIFO preserves log order with no cross-worker
+   waits. Barrier ops (wildcard, or keys straddling workers) run alone
+   on the caller between segment joins. Workers only write disjoint
+   result slots; the join's atomic counter + condvar publishes them to
+   the caller.
+
+   Counters through the [count] sink:
+   - exec_batch_ops: commands routed through the applier
+   - exec_parallel_batches: windows where >= 2 workers ran concurrently
+   - exec_serial_batches: windows applied serially (size/worker limits)
+   - exec_conflict_serialized: commands ordered behind a conflicting
+     predecessor (the bench's parallelism-efficiency denominator)
+   - exec_barrier_ops: conflict-forced full drains (wildcard/multi-worker)
+   - prof.exec.ns / prof.exec.n: applier wall time, rendered by
+     {!Cp_obs.Prof} like any other pipeline stage. *)
+
+type t = {
+  pool : Pool.t;
+  workers : int; (* scheduling width: worker indices 0..workers-1 *)
+  conflict_keys : string -> string list;
+  count : string -> int -> unit;
+  clock : unit -> float;
+  m : Backend.Mutex.t; (* join handshake for segment completion *)
+  c : Backend.Condition.t;
+  remaining : int Atomic.t;
+  failure : exn option Atomic.t;
+}
+
+let create ?pool ?workers ?(count = fun _ _ -> ()) ?(clock = fun () -> 0.)
+    ~conflict_keys () =
+  let pool = match pool with Some p -> p | None -> Pool.shared ~clock () in
+  let workers =
+    match workers with
+    | Some w -> max 1 (min w (max 1 (Pool.size pool)))
+    | None -> max 1 (Pool.size pool)
+  in
+  {
+    pool;
+    workers;
+    conflict_keys;
+    count;
+    clock;
+    m = Backend.Mutex.create ();
+    c = Backend.Condition.create ();
+    remaining = Atomic.make 0;
+    failure = Atomic.make None;
+  }
+
+let sequential ~conflict_keys () =
+  create ~pool:(Pool.create ~domains:0 ()) ~workers:1 ~conflict_keys ()
+
+let workers t = if Pool.size t.pool = 0 then 1 else t.workers
+
+let parallel t = workers t > 1
+
+(* Wait until every task of the current segment has run. Workers count
+   down [remaining]; the last one signals under the mutex, and the caller
+   re-checks the counter under the same mutex, so no wakeup is lost. *)
+let join_segment t =
+  Backend.Mutex.lock t.m;
+  while Atomic.get t.remaining > 0 do
+    Backend.Condition.wait t.c t.m
+  done;
+  Backend.Mutex.unlock t.m
+
+let run_segment t ~apply ~ops ~results d lo hi =
+  let buckets = Array.make t.workers [] in
+  for k = hi - 1 downto lo do
+    buckets.(d.Deps.worker.(k)) <- k :: buckets.(d.Deps.worker.(k))
+  done;
+  let nonempty = Array.fold_left (fun n b -> if b = [] then n else n + 1) 0 buckets in
+  if nonempty <= 1 then
+    for k = lo to hi - 1 do
+      results.(k) <- apply ops.(k)
+    done
+  else begin
+    Atomic.set t.remaining nonempty;
+    Array.iteri
+      (fun wi bucket ->
+        if bucket <> [] then
+          Pool.submit t.pool ~worker:wi (fun () ->
+              (try
+                 List.iter (fun k -> results.(k) <- apply ops.(k)) bucket
+               with e ->
+                 ignore (Atomic.compare_and_set t.failure None (Some e)));
+              if Atomic.fetch_and_add t.remaining (-1) = 1 then begin
+                Backend.Mutex.lock t.m;
+                Backend.Condition.signal t.c;
+                Backend.Mutex.unlock t.m
+              end))
+      buckets;
+    join_segment t
+  end;
+  nonempty > 1
+
+let batch_apply t ~apply ops =
+  let n = Array.length ops in
+  if n = 0 then [||]
+  else begin
+    let t0 = t.clock () in
+    t.count "exec_batch_ops" n;
+    let w = workers t in
+    let results =
+      if w <= 1 || n = 1 then begin
+        t.count "exec_serial_batches" 1;
+        Array.map apply ops
+      end
+      else begin
+        let keys = Array.map t.conflict_keys ops in
+        let d = Deps.build ~workers:w ~keys in
+        t.count "exec_conflict_serialized" d.Deps.serialized;
+        let barriers = Array.fold_left (fun a b -> if b then a + 1 else a) 0 d.Deps.barrier in
+        if barriers > 0 then t.count "exec_barrier_ops" barriers;
+        let results = Array.make n "" in
+        let went_parallel = ref false in
+        let i = ref 0 in
+        while !i < n do
+          if d.Deps.barrier.(!i) then begin
+            results.(!i) <- apply ops.(!i);
+            incr i
+          end
+          else begin
+            let j = ref !i in
+            while !j < n && not d.Deps.barrier.(!j) do
+              incr j
+            done;
+            if run_segment t ~apply ~ops ~results d !i !j then went_parallel := true;
+            i := !j
+          end
+        done;
+        t.count (if !went_parallel then "exec_parallel_batches" else "exec_serial_batches") 1;
+        (match Atomic.exchange t.failure None with
+        | Some e -> raise e
+        | None -> ());
+        results
+      end
+    in
+    let dt = t.clock () -. t0 in
+    t.count "prof.exec.ns" (if dt > 0. then int_of_float (dt *. 1e9) else 0);
+    t.count "prof.exec.n" 1;
+    results
+  end
+
+let attach t (inst : Cp_proto.Appi.instance) =
+  inst.Cp_proto.Appi.apply_batch <-
+    (fun ops -> batch_apply t ~apply:inst.Cp_proto.Appi.apply ops)

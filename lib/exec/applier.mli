@@ -1,0 +1,42 @@
+(** Conflict-aware parallel applier over a {!Pool}.
+
+    [batch_apply] applies one log-ordered window of commands and returns
+    results in input order, observationally identical to serial
+    application when the app's [conflict_keys] declaration is sound:
+    conflicting commands keep log order (same-key chains share a worker;
+    wildcard/multi-worker commands run alone between drains), disjoint
+    commands run concurrently — within and across the chosen batches the
+    learner folded into the window. *)
+
+type t
+
+val create :
+  ?pool:Pool.t ->
+  ?workers:int ->
+  ?count:(string -> int -> unit) ->
+  ?clock:(unit -> float) ->
+  conflict_keys:(string -> string list) ->
+  unit ->
+  t
+(** Defaults: the process-{!Pool.shared} pool; [workers] = pool size
+    (clamped to it); a null metrics sink; a null clock (no prof timing).
+    [workers] is the scheduling width — an applier asked for 2 workers on
+    an 8-worker shared pool only ever routes to workers 0 and 1. *)
+
+val sequential : conflict_keys:(string -> string list) -> unit -> t
+(** An applier that always applies serially (the 4.14 fallback path,
+    also used to exercise the window plumbing without parallelism). *)
+
+val workers : t -> int
+(** Effective scheduling width ([1] on the sequential backend). *)
+
+val parallel : t -> bool
+
+val batch_apply : t -> apply:(string -> string) -> string array -> string array
+(** Apply a window in log order; re-raises the first exception an op
+    raised (after the window joins). Not reentrant: one window at a time
+    per applier. *)
+
+val attach : t -> Cp_proto.Appi.instance -> unit
+(** Point [inst.apply_batch] at this applier (keeps [inst.apply] as the
+    op function, so state lives where it always did). *)

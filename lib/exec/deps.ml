@@ -1,0 +1,131 @@
+(* Conflict/dependency tracking over declared conflict keys.
+
+   Two ops conflict iff their key lists intersect, where the wildcard "*"
+   intersects everything. [build] derives, for a batch in log order:
+
+   - the semantic dependency DAG ([preds]: for each op, the latest earlier
+     op per shared key, plus the latest wildcard op). Any linear extension
+     of this DAG — and any race-free concurrent execution respecting it —
+     is result-equivalent to serial log order, provided the app's
+     conflict declaration is sound. The model checker enumerates these
+     extensions to validate the declarations.
+
+   - the schedule ([worker]/[barrier]): ops whose keys all hash to one
+     worker run on that worker, so every same-key chain is colocated in
+     FIFO order and needs no cross-worker synchronization. Ops whose keys
+     straddle workers, or that declare the wildcard, become barriers: the
+     applier drains the pool and runs them alone on the caller. The
+     schedule therefore over-approximates the DAG — strictly more
+     ordering, never less. *)
+
+type t = {
+  n : int;
+  preds : int list array; (* immediate predecessors, ascending *)
+  barrier : bool array;
+  worker : int array; (* meaningful iff not barrier *)
+  serialized : int; (* ops ordered behind at least one predecessor *)
+  wildcards : int; (* ops declaring "*" *)
+}
+
+let wildcard = Cp_proto.Appi.wildcard
+
+let worker_of_key ~workers k = (Hashtbl.hash k land max_int) mod workers
+
+let build ~workers ~keys =
+  let n = Array.length keys in
+  let workers = max 1 workers in
+  let preds = Array.make n [] in
+  let barrier = Array.make n false in
+  let worker = Array.make n 0 in
+  let serialized = ref 0 in
+  let wildcards = ref 0 in
+  let last_by_key : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let last_wildcard = ref (-1) in
+  let last_any = ref (-1) in
+  for i = 0 to n - 1 do
+    let ks = keys.(i) in
+    let wild = ks = [] || List.mem wildcard ks in
+    let ps = ref [] in
+    let add j = if j >= 0 && not (List.mem j !ps) then ps := j :: !ps in
+    if wild then begin
+      incr wildcards;
+      barrier.(i) <- true;
+      (* A wildcard op depends on every earlier op; the latest suffices as
+         the immediate edge since earlier ones are transitively ordered
+         behind it only when they conflict — for the DAG we keep it exact
+         by depending on all earlier ops' latest representative per key. *)
+      Hashtbl.iter (fun _ j -> add j) last_by_key;
+      add !last_wildcard;
+      add !last_any
+    end
+    else begin
+      List.iter
+        (fun k ->
+          (match Hashtbl.find_opt last_by_key k with
+          | Some j -> add j
+          | None -> ());
+          add !last_wildcard)
+        ks;
+      match ks with
+      | [ k ] -> worker.(i) <- worker_of_key ~workers k
+      | ks ->
+        let ws = List.map (worker_of_key ~workers) ks in
+        let w0 = List.hd ws in
+        if List.for_all (fun w -> w = w0) ws then worker.(i) <- w0
+        else barrier.(i) <- true
+    end;
+    let ps = List.sort compare !ps in
+    preds.(i) <- ps;
+    if ps <> [] then incr serialized;
+    if not wild then List.iter (fun k -> Hashtbl.replace last_by_key k i) ks;
+    if wild then begin
+      last_wildcard := i;
+      Hashtbl.reset last_by_key
+    end;
+    last_any := i
+  done;
+  {
+    n;
+    preds;
+    barrier;
+    worker;
+    serialized = !serialized;
+    wildcards = !wildcards;
+  }
+
+(* All topological orders of the DAG, for the bounded equivalence check.
+   Returns None when the count exceeds [limit]. *)
+let linear_extensions ?(limit = 5000) t =
+  let indeg = Array.make t.n 0 in
+  let succs = Array.make t.n [] in
+  Array.iteri
+    (fun i ps ->
+      List.iter
+        (fun j ->
+          indeg.(i) <- indeg.(i) + 1;
+          succs.(j) <- i :: succs.(j))
+        ps)
+    t.preds;
+  let out = ref [] in
+  let count = ref 0 in
+  let order = Array.make t.n 0 in
+  let exception Too_many in
+  let rec go depth =
+    if depth = t.n then begin
+      incr count;
+      if !count > limit then raise Too_many;
+      out := Array.to_list (Array.copy order) :: !out
+    end
+    else
+      for i = 0 to t.n - 1 do
+        if indeg.(i) = 0 then begin
+          indeg.(i) <- -1;
+          List.iter (fun j -> indeg.(j) <- indeg.(j) - 1) succs.(i);
+          order.(depth) <- i;
+          go (depth + 1);
+          List.iter (fun j -> indeg.(j) <- indeg.(j) + 1) succs.(i);
+          indeg.(i) <- 0
+        end
+      done
+  in
+  match go 0 with () -> Some (List.rev !out) | exception Too_many -> None

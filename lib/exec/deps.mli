@@ -1,0 +1,29 @@
+(** Conflict/dependency tracking over declared conflict keys.
+
+    Built once per batch by the applier: [preds] is the exact dependency
+    DAG implied by the app's [conflict_keys] declaration (shared key or
+    wildcard ⇒ ordered in log order), while [worker]/[barrier] give the
+    pool schedule, which over-approximates the DAG — same-key chains are
+    colocated on one worker in FIFO order, and any op that cannot be
+    colocated with all of its conflicts (multi-worker keys, wildcard)
+    becomes a barrier the applier runs alone. *)
+
+type t = {
+  n : int;
+  preds : int list array; (* immediate predecessors, ascending *)
+  barrier : bool array;
+  worker : int array; (* meaningful iff not barrier *)
+  serialized : int; (* ops ordered behind at least one predecessor *)
+  wildcards : int; (* ops declaring "*" *)
+}
+
+val worker_of_key : workers:int -> string -> int
+
+val build : workers:int -> keys:string list array -> t
+(** [keys.(i)] is op [i]'s conflict-key list; [[]] is treated as the
+    wildcard (conservative: an app that declares nothing serializes). *)
+
+val linear_extensions : ?limit:int -> t -> int list list option
+(** Every topological order of the dependency DAG, or [None] once more
+    than [limit] exist. Used by the bounded model check: applying the
+    batch in any extension must match serial log order. *)

@@ -1,0 +1,54 @@
+(* Bounded single-producer single-consumer ring.
+
+   Indices grow monotonically; the slot is [index land mask]. The producer
+   owns [tail], the consumer owns [head]; each reads the other's index with
+   a sequentially-consistent [Atomic.get], which (per the OCaml memory
+   model) makes the non-atomic slot write visible to the consumer once it
+   observes the advanced tail. The pool serializes producers externally, so
+   the queue itself stays lock-free on both paths. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mask : int;
+  head : int Atomic.t; (* next slot to pop; advanced by the consumer *)
+  tail : int Atomic.t; (* next slot to push; advanced by the producer *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ~capacity =
+  let cap = pow2 (max 2 capacity) 2 in
+  {
+    buf = Array.make cap None;
+    mask = cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = Array.length t.buf
+
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let is_empty t = length t <= 0
+
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head >= Array.length t.buf then false
+  else begin
+    t.buf.(tail land t.mask) <- Some x;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head >= tail then None
+  else begin
+    let slot = head land t.mask in
+    let x = t.buf.(slot) in
+    t.buf.(slot) <- None;
+    Atomic.set t.head (head + 1);
+    x
+  end

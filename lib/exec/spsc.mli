@@ -1,0 +1,20 @@
+(** Bounded single-producer single-consumer ring queue.
+
+    Lock-free for one producer and one consumer running on different
+    domains; the pool serializes its producers externally. Capacity is
+    rounded up to a power of two. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when full; the producer decides whether to retry or spin. *)
+
+val try_pop : 'a t -> 'a option

@@ -1,0 +1,82 @@
+(* Striped hash table: an array of plain Hashtbls, each behind its own
+   backend mutex. Stdlib Hashtbl is not domain-safe even for disjoint
+   keys (resizes race), so apps whose state is keyed the same way as
+   their conflict keys use this instead: the applier guarantees same-key
+   ops never run concurrently, and the stripe locks make different-key
+   ops that happen to share a stripe memory-safe. On the sequential
+   backend the mutexes are no-ops and this degenerates to a segmented
+   Hashtbl. *)
+
+type 'a t = {
+  tables : (string, 'a) Hashtbl.t array;
+  locks : Backend.Mutex.t array;
+  mask : int;
+}
+
+let create ?(stripes = 64) () =
+  let rec pow2 n k = if k >= n then k else pow2 n (k * 2) in
+  let n = pow2 (max 1 stripes) 1 in
+  {
+    tables = Array.init n (fun _ -> Hashtbl.create 16);
+    locks = Array.init n (fun _ -> Backend.Mutex.create ());
+    mask = n - 1;
+  }
+
+let stripe_of t k = Hashtbl.hash k land t.mask
+
+let with_key t k f =
+  let i = stripe_of t k in
+  Backend.Mutex.lock t.locks.(i);
+  match f t.tables.(i) with
+  | v ->
+    Backend.Mutex.unlock t.locks.(i);
+    v
+  | exception e ->
+    Backend.Mutex.unlock t.locks.(i);
+    raise e
+
+let find_opt t k = with_key t k (fun tbl -> Hashtbl.find_opt tbl k)
+
+let replace t k v = with_key t k (fun tbl -> Hashtbl.replace tbl k v)
+
+let remove t k = with_key t k (fun tbl -> Hashtbl.remove tbl k)
+
+(* Whole-table passes (fold/snapshot/load) are only ever reached from
+   wildcard ops or the replica's snapshot path, which the applier runs
+   with the pool drained; each stripe is still locked for safety. *)
+
+let fold t f acc =
+  let acc = ref acc in
+  Array.iteri
+    (fun i tbl ->
+      Backend.Mutex.lock t.locks.(i);
+      Hashtbl.iter (fun k v -> acc := f k v !acc) tbl;
+      Backend.Mutex.unlock t.locks.(i))
+    t.tables;
+  !acc
+
+let length t = fold t (fun _ _ n -> n + 1) 0
+
+let merged t =
+  let out = Hashtbl.create 64 in
+  Array.iteri
+    (fun i tbl ->
+      Backend.Mutex.lock t.locks.(i);
+      Hashtbl.iter (fun k v -> Hashtbl.replace out k v) tbl;
+      Backend.Mutex.unlock t.locks.(i))
+    t.tables;
+  out
+
+let load t src =
+  Array.iteri
+    (fun i tbl ->
+      Backend.Mutex.lock t.locks.(i);
+      Hashtbl.reset tbl;
+      Backend.Mutex.unlock t.locks.(i))
+    t.tables;
+  Hashtbl.iter (fun k v -> replace t k v) src
+
+let of_table ?stripes src =
+  let t = create ?stripes () in
+  Hashtbl.iter (fun k v -> replace t k v) src;
+  t

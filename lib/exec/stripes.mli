@@ -1,0 +1,36 @@
+(** Striped string-keyed hash table, safe for concurrent access from
+    worker domains when no two concurrent operations touch the same key
+    (the parallel applier's guarantee). Each stripe is a plain Hashtbl
+    behind its own mutex; on the sequential backend the mutexes are
+    no-ops. *)
+
+type 'a t
+
+val create : ?stripes:int -> unit -> 'a t
+(** [stripes] (default 64) is rounded up to a power of two. *)
+
+val with_key : 'a t -> string -> ((string, 'a) Hashtbl.t -> 'b) -> 'b
+(** Run [f] on [k]'s stripe under its lock. [f] must only touch entries
+    for keys on that stripe — in practice, only key [k]. Use for
+    read-modify-write ops (CAS, DEPOSIT) that need per-key atomicity. *)
+
+val find_opt : 'a t -> string -> 'a option
+
+val replace : 'a t -> string -> 'a -> unit
+
+val remove : 'a t -> string -> unit
+
+val fold : 'a t -> (string -> 'a -> 'acc -> 'acc) -> 'acc -> 'acc
+(** Locks one stripe at a time; iteration order is unspecified. Callers
+    needing a consistent view must not run concurrently with writers —
+    the applier's wildcard barrier and the snapshot path guarantee it. *)
+
+val length : 'a t -> int
+
+val merged : 'a t -> (string, 'a) Hashtbl.t
+(** Copy into one plain Hashtbl (for [Snap.table_snapshot]). *)
+
+val load : 'a t -> (string, 'a) Hashtbl.t -> unit
+(** Reset and refill from [src] (for restore). *)
+
+val of_table : ?stripes:int -> (string, 'a) Hashtbl.t -> 'a t

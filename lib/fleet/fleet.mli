@@ -19,6 +19,7 @@ val create :
   ?obs:bool ->
   ?router:Router.t ->
   ?wheel_tick:float ->
+  ?conflict_keys:(string -> string list) ->
   groups:int ->
   policy:Cp_engine.Policy.t ->
   initial:Config.t ->

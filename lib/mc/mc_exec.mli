@@ -1,0 +1,39 @@
+(** Bounded equivalence checking of conflict declarations.
+
+    The parallel applier ({!Cp_exec.Applier}) only ever runs a batch in a
+    linear extension of the dependency DAG built from the app's
+    [conflict_keys]. Its serial-equivalence therefore reduces to: every
+    linear extension of that DAG yields the same per-op results and final
+    snapshot as log order — exactly what {!check} verifies, exhaustively,
+    for a small concrete batch. A sound declaration passes for every
+    batch; an unsound one (two non-commuting ops with disjoint declared
+    keys) produces a violation on some batch, which the test suite uses as
+    the mutation check. *)
+
+type result = {
+  schedules : int;  (** linear extensions replayed *)
+  truncated : bool;  (** more than [limit] extensions: nothing checked *)
+  violation : string option;  (** [None] = all extensions matched serial *)
+}
+
+val check :
+  ?workers:int ->
+  ?limit:int ->
+  app:(module Cp_proto.Appi.Sc) ->
+  ops:string list ->
+  unit ->
+  result
+(** Replay every linear extension of the batch's dependency DAG on a fresh
+    instance of [app] and compare with serial log order. [workers]
+    (default 2) only affects the DAG's barrier/colocation shape, not the
+    extension set's soundness; [limit] (default 5000) caps the number of
+    extensions enumerated. *)
+
+val equivalent :
+  ?workers:int ->
+  ?limit:int ->
+  app:(module Cp_proto.Appi.Sc) ->
+  ops:string list ->
+  unit ->
+  bool
+(** [check] fully ran and found no violation. *)

@@ -9,10 +9,29 @@ module Obs = Cp_obs
    node and a fleet node interoperate); further groups are added with
    [add_group] and speak grouped frames. [g_tctx] is the group's minting
    origin for fresh causal chains — for group 0 it IS the node's ambient
-   context, for others a namespaced one (see {!Cp_obs.Traceid.namespace}). *)
+   context, for others a namespaced one (see {!Cp_obs.Traceid.namespace}).
+
+   In single-lock mode [g_lock] is unused and [g_metrics]/[g_scratch] alias
+   the node's; in pool mode each group owns private ones so handlers on
+   different worker domains never share mutable state. *)
 type group = {
   g_handlers : Types.msg Engine.handlers;
   g_tctx : Obs.Traceid.t;
+  g_lock : Mutex.t;
+  g_metrics : Cp_sim.Metrics.t;
+  g_scratch : Codec.scratch;
+}
+
+(* Parallel-dispatch state ([create ~exec_domains] > 1). The pool is
+   private to the node — never the process-shared applier pool — because a
+   handler may itself fan a command window out to the shared pool and wait
+   for it: if group dispatch queued on the same workers, a window sub-task
+   could land behind the very handler that is waiting on it. *)
+type exec_state = {
+  pool : Cp_exec.Pool.t;
+  workers : int; (* >= 1 even when the pool is sequential (size 0) *)
+  trace_mu : Mutex.t; (* the trace ring, shared by all groups *)
+  wheel_mu : Mutex.t; (* the timer wheel, shared by all groups *)
 }
 
 type t = {
@@ -33,6 +52,7 @@ type t = {
   tctx : Obs.Traceid.t; (* ambient causal trace id; guarded by [lock] *)
   scratch : Codec.scratch; (* guarded by [lock]; senders hold it already *)
   admin_sock : Unix.file_descr option; (* TCP listener for /metrics etc. *)
+  exec : exec_state option; (* None = the original single-lock runtime *)
 }
 
 let now t = Unix.gettimeofday () -. t.start
@@ -40,6 +60,8 @@ let now t = Unix.gettimeofday () -. t.start
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let parallel_dispatch t = Option.is_some t.exec
 
 (* Record into the node's ring, stamped with the ambient trace id; count
    overwrites of unread records so ring loss is observable. Lock required
@@ -50,6 +72,16 @@ let emit_ev t ev =
   Obs.Trace.emit ~tid t.trace_ ~at:(now t) ~node:t.id ev;
   if Obs.Trace.dropped t.trace_ > dropped0 then
     Cp_sim.Metrics.incr t.metrics "ring_dropped"
+
+(* Pool-mode emit: any domain may record, so the ring gets its own mutex;
+   the drop counter lands in the caller's metrics (held by its lock). *)
+let emit_pool t ex ~tid ~metrics ev =
+  Mutex.lock ex.trace_mu;
+  let dropped0 = Obs.Trace.dropped t.trace_ in
+  Obs.Trace.emit ~tid t.trace_ ~at:(now t) ~node:t.id ev;
+  let dropped = Obs.Trace.dropped t.trace_ > dropped0 in
+  Mutex.unlock ex.trace_mu;
+  if dropped then Cp_sim.Metrics.incr metrics "ring_dropped"
 
 (* Start a fresh causal chain minted from a group's origin and make it the
    node's ambient id (a no-op re-set for group 0, whose origin IS the
@@ -83,6 +115,29 @@ let send t ~gid ~g_tctx dst msg =
          (t.addr_of dst))
   with Unix.Unix_error _ -> () (* unreachable peer = lost datagram *)
 
+(* Pool-mode send: caller holds the group's lock, so the group's own
+   scratch, ambient context, and metrics are safe; concurrent sendto on one
+   UDP socket is kernel-atomic per datagram. *)
+let send_pool t ~gid ~(g : group) dst msg =
+  let tid =
+    match Types.classify msg with
+    | "client_req" | "client_read" -> Obs.Traceid.mint g.g_tctx
+    | _ -> Obs.Traceid.current g.g_tctx
+  in
+  let payload =
+    if gid = 0 then Codec.encode_traced_with g.g_scratch ~tid msg
+    else Codec.encode_grouped_with g.g_scratch ~gid ~tid msg
+  in
+  Cp_sim.Metrics.incr g.g_metrics "msgs_sent";
+  Cp_sim.Metrics.incr g.g_metrics ~by:(String.length payload) "bytes_sent";
+  Cp_sim.Metrics.incr g.g_metrics ~by:(String.length payload) "encoded_bytes";
+  Cp_sim.Metrics.incr g.g_metrics ("sent." ^ Types.classify msg);
+  try
+    ignore
+      (Unix.sendto t.sock (Bytes.of_string payload) 0 (String.length payload) []
+         (t.addr_of dst))
+  with Unix.Unix_error _ -> ()
+
 (* Must be called with the lock held. All groups share the wheel: adding or
    cancelling a timer is O(1) however many groups the node hosts, and the
    timer thread sleeps toward one deadline — the wheel's next — instead of
@@ -94,6 +149,21 @@ let set_timer t ~gid ?(tag = "") delay =
 
 let cancel_timer t wid = Wheel.cancel t.wheel wid
 
+(* Pool-mode timers: the wheel gets its own mutex so a handler setting a
+   timer never touches the node lock (a worker blocked on [lock] while the
+   timer thread submits into that worker's full queue would wedge both).
+   The pool timer thread polls; no condition variable needed. *)
+let set_timer_pool t ex ~gid ?(tag = "") delay =
+  Mutex.lock ex.wheel_mu;
+  let wid = Wheel.add t.wheel ~at:(now t +. Float.max 0. delay) (gid, tag) in
+  Mutex.unlock ex.wheel_mu;
+  wid
+
+let cancel_timer_pool t ex wid =
+  Mutex.lock ex.wheel_mu;
+  Wheel.cancel t.wheel wid;
+  Mutex.unlock ex.wheel_mu
+
 (* Must be called with the lock held. An exception escaping a protocol
    handler (or the port→id map) must not kill the dispatch thread — and in
    the timer loop it would also leave the node lock poisoned, deadlocking
@@ -103,6 +173,14 @@ let guard t ~where f =
   with exn ->
     Cp_sim.Metrics.incr t.metrics "handler_errors";
     emit_ev t
+      (Obs.Event.Debug (Printf.sprintf "%s raised: %s" where (Printexc.to_string exn)))
+
+(* Pool-mode guard: caller holds [g.g_lock]. *)
+let guard_pool t ex ~(g : group) ~where f =
+  try f ()
+  with exn ->
+    Cp_sim.Metrics.incr g.g_metrics "handler_errors";
+    emit_pool t ex ~tid:(Obs.Traceid.current g.g_tctx) ~metrics:g.g_metrics
       (Obs.Event.Debug (Printf.sprintf "%s raised: %s" where (Printexc.to_string exn)))
 
 let fire_timer t wid (gid, tag) =
@@ -133,6 +211,89 @@ let timer_loop t =
   done;
   Mutex.unlock t.lock
 
+(* Pool mode routes every handler invocation for group [gid] to worker
+   [gid mod workers]: per-worker queues are FIFO, so one group's handlers
+   stay strictly serialized (and in arrival order) without any group ever
+   waiting on another's — the run-to-completion semantics the engine
+   promises, per group instead of per node. *)
+let dispatch_timer t ex wid (gid, tag) =
+  match with_lock t (fun () -> Hashtbl.find_opt t.groups gid) with
+  | None -> () (* group removed: stale timer *)
+  | Some g ->
+    Cp_exec.Pool.submit ex.pool ~worker:(gid mod ex.workers) (fun () ->
+        Mutex.lock g.g_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock g.g_lock)
+          (fun () ->
+            ignore (Obs.Traceid.mint g.g_tctx);
+            guard_pool t ex ~g ~where:(Printf.sprintf "on_timer %S" tag) (fun () ->
+                g.g_handlers.Engine.on_timer ~tid:wid ~tag)))
+
+let timer_loop_pool t ex =
+  while not t.stopping do
+    let fired = ref [] in
+    Mutex.lock ex.wheel_mu;
+    (match Wheel.next_deadline t.wheel with
+    | Some deadline when deadline <= now t ->
+      Wheel.advance t.wheel ~now:(now t) ~fire:(fun wid p -> fired := (wid, p) :: !fired)
+    | _ -> ());
+    Mutex.unlock ex.wheel_mu;
+    (* Submit only after releasing the wheel mutex: a fire task may itself
+       set timers from its worker. *)
+    List.iter (fun (wid, p) -> dispatch_timer t ex wid p) (List.rev !fired);
+    if !fired = [] then Thread.delay 1e-3
+  done
+
+(* Pool-mode delivery of one decoded datagram. Node-level counters stay on
+   the node's metrics under the node lock (brief, never held across a
+   submit); everything group-level runs on the group's worker. *)
+let recv_dispatch_pool t ex ~peer ~len ~decode_ns ~gid msg ~trace =
+  let src =
+    match peer with
+    | Unix.ADDR_INET (_, port) -> (
+      try Some (t.id_of_port port)
+      with exn ->
+        with_lock t (fun () -> Cp_sim.Metrics.incr t.metrics "handler_errors");
+        emit_pool t ex ~tid:Obs.Traceid.none ~metrics:t.metrics
+          (Obs.Event.Debug
+             (Printf.sprintf "id_of_port %d raised: %s" port (Printexc.to_string exn)));
+        None)
+    | Unix.ADDR_UNIX _ -> Some (-1)
+  in
+  match src with
+  | None -> () (* unknown peer: drop *)
+  | Some src -> (
+    let kind = Types.classify msg in
+    let g =
+      with_lock t (fun () ->
+          match Hashtbl.find_opt t.groups gid with
+          | None ->
+            Cp_sim.Metrics.incr t.metrics "mux_unknown_group";
+            None
+          | Some g ->
+            Cp_sim.Metrics.incr t.metrics ~by:decode_ns "prof.decode.ns";
+            Cp_sim.Metrics.incr t.metrics "prof.decode.n";
+            Cp_sim.Metrics.incr t.metrics "msgs_recv";
+            Cp_sim.Metrics.incr t.metrics ~by:len "bytes_recv";
+            Cp_sim.Metrics.incr t.metrics ("recv." ^ kind);
+            Some g)
+    in
+    match g with
+    | None -> ()
+    | Some g ->
+      Cp_exec.Pool.submit ex.pool ~worker:(gid mod ex.workers) (fun () ->
+          Mutex.lock g.g_lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock g.g_lock)
+            (fun () ->
+              (* Everything the handler emits/sends continues the
+                 datagram's causal chain. *)
+              Obs.Traceid.adopt g.g_tctx trace;
+              emit_pool t ex ~tid:(Obs.Traceid.current g.g_tctx) ~metrics:g.g_metrics
+                (Obs.Event.Msg_recv { src; kind; bytes = len });
+              guard_pool t ex ~g ~where:("on_message " ^ kind) (fun () ->
+                  g.g_handlers.Engine.on_message ~src msg))))
+
 let recv_loop t =
   let buf = Bytes.create 65536 in
   let rec loop () =
@@ -153,66 +314,131 @@ let recv_loop t =
         let decode_ns = int_of_float ((Unix.gettimeofday () -. d0) *. 1e9) in
         (match decoded with
         | Error _ -> () (* junk datagram: drop *)
-        | Ok (gid, msg, trace) ->
-          Mutex.lock t.lock;
-          Fun.protect
-            ~finally:(fun () -> Mutex.unlock t.lock)
-            (fun () ->
-              let src =
-                match peer with
-                | Unix.ADDR_INET (_, port) -> (
-                  (* A user-supplied map: a datagram from an unmapped port
-                     must be dropped, not kill the receive thread. *)
-                  try Some (t.id_of_port port)
-                  with exn ->
-                    Cp_sim.Metrics.incr t.metrics "handler_errors";
-                    emit_ev t
-                      (Obs.Event.Debug
-                         (Printf.sprintf "id_of_port %d raised: %s" port
-                            (Printexc.to_string exn)));
-                    None)
-                | Unix.ADDR_UNIX _ -> Some (-1)
-              in
-              match src with
-              | None -> () (* unknown peer: drop *)
-              | Some src -> (
-                match Hashtbl.find_opt t.groups gid with
-                | None ->
-                  (* Misrouted or not-yet-added group: count and drop. *)
-                  Cp_sim.Metrics.incr t.metrics "mux_unknown_group"
-                | Some g ->
-                  let kind = Types.classify msg in
-                  Cp_sim.Metrics.incr t.metrics ~by:decode_ns "prof.decode.ns";
-                  Cp_sim.Metrics.incr t.metrics "prof.decode.n";
-                  Cp_sim.Metrics.incr t.metrics "msgs_recv";
-                  Cp_sim.Metrics.incr t.metrics ~by:len "bytes_recv";
-                  Cp_sim.Metrics.incr t.metrics ("recv." ^ kind);
-                  (* Everything the handler emits/sends continues the
-                     datagram's causal chain. *)
-                  Obs.Traceid.adopt t.tctx trace;
-                  emit_ev t (Obs.Event.Msg_recv { src; kind; bytes = len });
-                  guard t ~where:("on_message " ^ kind) (fun () ->
-                      g.g_handlers.Engine.on_message ~src msg))));
+        | Ok (gid, msg, trace) -> (
+          match t.exec with
+          | Some ex -> recv_dispatch_pool t ex ~peer ~len ~decode_ns ~gid msg ~trace
+          | None ->
+            Mutex.lock t.lock;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock t.lock)
+              (fun () ->
+                let src =
+                  match peer with
+                  | Unix.ADDR_INET (_, port) -> (
+                    (* A user-supplied map: a datagram from an unmapped port
+                       must be dropped, not kill the receive thread. *)
+                    try Some (t.id_of_port port)
+                    with exn ->
+                      Cp_sim.Metrics.incr t.metrics "handler_errors";
+                      emit_ev t
+                        (Obs.Event.Debug
+                           (Printf.sprintf "id_of_port %d raised: %s" port
+                              (Printexc.to_string exn)));
+                      None)
+                  | Unix.ADDR_UNIX _ -> Some (-1)
+                in
+                match src with
+                | None -> () (* unknown peer: drop *)
+                | Some src -> (
+                  match Hashtbl.find_opt t.groups gid with
+                  | None ->
+                    (* Misrouted or not-yet-added group: count and drop. *)
+                    Cp_sim.Metrics.incr t.metrics "mux_unknown_group"
+                  | Some g ->
+                    let kind = Types.classify msg in
+                    Cp_sim.Metrics.incr t.metrics ~by:decode_ns "prof.decode.ns";
+                    Cp_sim.Metrics.incr t.metrics "prof.decode.n";
+                    Cp_sim.Metrics.incr t.metrics "msgs_recv";
+                    Cp_sim.Metrics.incr t.metrics ~by:len "bytes_recv";
+                    Cp_sim.Metrics.incr t.metrics ("recv." ^ kind);
+                    (* Everything the handler emits/sends continues the
+                       datagram's causal chain. *)
+                    Obs.Traceid.adopt t.tctx trace;
+                    emit_ev t (Obs.Event.Msg_recv { src; kind; bytes = len });
+                    guard t ~where:("on_message " ^ kind) (fun () ->
+                        g.g_handlers.Engine.on_message ~src msg)))));
         loop ()
     end
   in
   loop ()
 
+(* Snapshot with pool-mode merging: counters are summed across the node
+   store and every group store (so dashboard names like [msgs_sent] keep
+   meaning the node total); per-group observation series are prefixed
+   [g<gid>_]; the pool contributes per-domain utilization counters. *)
+let merged_snapshot t =
+  match t.exec with
+  | None -> with_lock t (fun () -> Cp_sim.Metrics.snapshot t.metrics)
+  | Some ex ->
+    let node_snap = with_lock t (fun () -> Cp_sim.Metrics.snapshot t.metrics) in
+    let gs =
+      with_lock t (fun () -> Hashtbl.fold (fun gid g acc -> (gid, g) :: acc) t.groups [])
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let gsnaps =
+      List.map
+        (fun (gid, g) ->
+          Mutex.lock g.g_lock;
+          let s = Cp_sim.Metrics.snapshot g.g_metrics in
+          Mutex.unlock g.g_lock;
+          (gid, s))
+        gs
+    in
+    let tbl = Hashtbl.create 64 in
+    let add (name, v) =
+      Hashtbl.replace tbl name
+        (v + Option.value (Hashtbl.find_opt tbl name) ~default:0)
+    in
+    List.iter add node_snap.Cp_sim.Metrics.counters;
+    List.iter (fun (_, s) -> List.iter add s.Cp_sim.Metrics.counters) gsnaps;
+    let st = Cp_exec.Pool.stats ex.pool in
+    add ("exec.domains", ex.workers);
+    for i = 0 to min ex.workers (Array.length st.Cp_exec.Pool.busy_ns) - 1 do
+      add (Printf.sprintf "exec.domain%d.busy_ns" i, st.Cp_exec.Pool.busy_ns.(i));
+      add (Printf.sprintf "exec.domain%d.tasks" i, st.Cp_exec.Pool.tasks.(i));
+      if st.Cp_exec.Pool.errors.(i) > 0 then
+        add (Printf.sprintf "exec.domain%d.errors" i, st.Cp_exec.Pool.errors.(i))
+    done;
+    let counters =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+    in
+    let summaries =
+      node_snap.Cp_sim.Metrics.summaries
+      @ List.concat_map
+          (fun (gid, s) ->
+            List.map
+              (fun (n, sum) -> (Printf.sprintf "g%d_%s" gid n, sum))
+              s.Cp_sim.Metrics.summaries)
+          gsnaps
+    in
+    { Cp_sim.Metrics.counters; summaries }
+
+let counter t name =
+  let snap = merged_snapshot t in
+  match List.assoc_opt name snap.Cp_sim.Metrics.counters with Some v -> v | None -> 0
+
 let metrics_text t =
-  let snap = with_lock t (fun () -> Cp_sim.Metrics.snapshot t.metrics) in
+  let snap = merged_snapshot t in
   Obs.Prom.render ~counters:snap.Cp_sim.Metrics.counters
     ~summaries:snap.Cp_sim.Metrics.summaries ()
   ^ Obs.Prof.render snap.Cp_sim.Metrics.counters
 
 (* --- admin endpoint ---------------------------------------------------- *)
 
+let trace_records t =
+  match t.exec with
+  | None -> with_lock t (fun () -> Obs.Trace.records t.trace_)
+  | Some ex ->
+    Mutex.lock ex.trace_mu;
+    let r = Obs.Trace.records t.trace_ in
+    Mutex.unlock ex.trace_mu;
+    r
+
 let admin_response t path =
   match path with
   | "/healthz" -> (200, "text/plain", Printf.sprintf "ok node=%d uptime=%.3fs\n" t.id (now t))
   | "/metrics" -> (200, "text/plain", metrics_text t)
-  | "/timeline" ->
-    let records = with_lock t (fun () -> Obs.Trace.records t.trace_) in
-    (200, "application/json", Obs.Timeline.to_chrome records)
+  | "/timeline" -> (200, "application/json", Obs.Timeline.to_chrome (trace_records t))
   | _ -> (404, "text/plain", "not found\n")
 
 (* A single [write_substring] may stop short once the response outgrows the
@@ -272,21 +498,62 @@ let admin_loop t sock =
   done
 
 (* The fabricated capability record for one hosted group. Each group gets
-   its own RNG stream and in-memory stable store; [now], metrics, the trace
-   ring, and the socket are the node's. *)
-let make_ctx t ~gid ~g_tctx =
+   its own RNG stream and in-memory stable store; [now], the trace ring,
+   and the socket are the node's. In pool mode metrics/emit/send go through
+   the group's own stores (serialized by its lock); in single-lock mode
+   they are the node's, exactly as before. *)
+let make_ctx t ~gid ~(g : group) =
+  let rng = Cp_util.Rng.create ((t.seed * 1009) + t.id + (gid * 7919)) in
+  let stable = Cp_sim.Stable.create () in
+  match t.exec with
+  | None ->
+    {
+      Engine.self = t.id;
+      now = (fun () -> now t);
+      send = (fun dst msg -> send t ~gid ~g_tctx:g.g_tctx dst msg);
+      set_timer = (fun ?tag delay -> set_timer t ~gid ?tag delay);
+      cancel_timer = (fun wid -> cancel_timer t wid);
+      rng;
+      stable;
+      metrics = t.metrics;
+      emit = (fun ev -> emit_ev t ev);
+      tctx = g.g_tctx;
+    }
+  | Some ex ->
+    {
+      Engine.self = t.id;
+      now = (fun () -> now t);
+      send = (fun dst msg -> send_pool t ~gid ~g dst msg);
+      set_timer = (fun ?tag delay -> set_timer_pool t ex ~gid ?tag delay);
+      cancel_timer = (fun wid -> cancel_timer_pool t ex wid);
+      rng;
+      stable;
+      metrics = g.g_metrics;
+      emit =
+        (fun ev ->
+          emit_pool t ex ~tid:(Obs.Traceid.current g.g_tctx) ~metrics:g.g_metrics ev);
+      tctx = g.g_tctx;
+    }
+
+(* Build a group's shared-state slots. The handlers cell is filled right
+   after [build] returns; the ctx closes over the record, so handler
+   effects during build (recovery sends, election timers) already work. *)
+let alloc_group t ~g_tctx =
+  let shared = Option.is_none t.exec in
   {
-    Engine.self = t.id;
-    now = (fun () -> now t);
-    send = (fun dst msg -> send t ~gid ~g_tctx dst msg);
-    set_timer = (fun ?tag delay -> set_timer t ~gid ?tag delay);
-    cancel_timer = (fun wid -> cancel_timer t wid);
-    rng = Cp_util.Rng.create ((t.seed * 1009) + t.id + (gid * 7919));
-    stable = Cp_sim.Stable.create ();
-    metrics = t.metrics;
-    emit = (fun ev -> emit_ev t ev);
-    tctx = g_tctx;
+    g_handlers =
+      { Engine.on_message = (fun ~src:_ _ -> ()); on_timer = (fun ~tid:_ ~tag:_ -> ()) };
+    g_tctx;
+    g_lock = Mutex.create ();
+    g_metrics = (if shared then t.metrics else Cp_sim.Metrics.create ());
+    g_scratch = (if shared then t.scratch else Codec.create_scratch ());
   }
+
+let build_group t ~gid ~g_tctx ~build =
+  let g0 = alloc_group t ~g_tctx in
+  let ctx = make_ctx t ~gid ~g:g0 in
+  let handlers = build ctx in
+  { g0 with g_handlers = handlers }
 
 let add_group t ~gid ~build =
   if gid <= 0 then invalid_arg "Node.add_group: gid must be positive (0 is the primary)";
@@ -296,12 +563,26 @@ let add_group t ~gid ~build =
       let g_tctx =
         Obs.Traceid.create ~origin:(Obs.Traceid.namespace ~node:t.id ~group:gid)
       in
-      let ctx = make_ctx t ~gid ~g_tctx in
-      let handlers = build ctx in
-      Hashtbl.replace t.groups gid { g_handlers = handlers; g_tctx })
+      Hashtbl.replace t.groups gid (build_group t ~gid ~g_tctx ~build))
+
+let group_metrics t gid =
+  match with_lock t (fun () -> Hashtbl.find_opt t.groups gid) with
+  | None -> invalid_arg (Printf.sprintf "Node.group_metrics: unknown gid %d" gid)
+  | Some g -> g.g_metrics
+
+let with_group t ~gid f =
+  match with_lock t (fun () -> Hashtbl.find_opt t.groups gid) with
+  | None -> invalid_arg (Printf.sprintf "Node.with_group: unknown gid %d" gid)
+  | Some g -> (
+    match t.exec with
+    | None -> with_lock t f
+    | Some _ ->
+      Mutex.lock g.g_lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock g.g_lock) f)
 
 let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity)
-    ?admin_port ?(wheel_tick = 1e-3) ~port_of ~id_of_port ~id ~seed ~build () =
+    ?admin_port ?(wheel_tick = 1e-3) ?(exec_domains = 0) ~port_of ~id_of_port ~id
+    ~seed ~build () =
   let inet = Unix.inet_addr_of_string host in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -322,6 +603,22 @@ let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity)
       Unix.listen s 8;
       Some s
   in
+  let exec =
+    if exec_domains > 1 then
+      (* A node-private pool (see [exec_state]); on the sequential backend
+         Pool.create yields size 0 and submits run inline on the caller —
+         same behaviour, one thread. *)
+      Some
+        {
+          pool =
+            Cp_exec.Pool.create ~clock:Unix.gettimeofday
+              ~domains:(min exec_domains 16) ();
+          workers = max 1 (min exec_domains 16);
+          trace_mu = Mutex.create ();
+          wheel_mu = Mutex.create ();
+        }
+    else None
+  in
   let t =
     {
       id;
@@ -341,14 +638,19 @@ let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity)
       tctx = Obs.Traceid.create ~origin:id;
       scratch = Codec.create_scratch ();
       admin_sock;
+      exec;
     }
   in
-  let ctx = make_ctx t ~gid:0 ~g_tctx:t.tctx in
   Mutex.lock t.lock;
-  Hashtbl.replace t.groups 0 { g_handlers = build ctx; g_tctx = t.tctx };
+  Hashtbl.replace t.groups 0 (build_group t ~gid:0 ~g_tctx:t.tctx ~build);
   Mutex.unlock t.lock;
+  let timer_thread =
+    match t.exec with
+    | Some ex -> Thread.create (fun () -> timer_loop_pool t ex) ()
+    | None -> Thread.create timer_loop t
+  in
   t.threads <-
-    [ Thread.create timer_loop t; Thread.create recv_loop t ]
+    [ timer_thread; Thread.create recv_loop t ]
     @ (match t.admin_sock with
       | Some s -> [ Thread.create (admin_loop t) s ]
       | None -> []);
@@ -370,6 +672,9 @@ let shutdown t =
        within its sleep slice; admin thread within its accept timeout.
        Close only after all have exited. *)
     List.iter (fun th -> try Thread.join th with _ -> ()) t.threads;
+    (* With the dispatch threads gone nothing submits anymore; stop the
+       node's private pool (the shared applier pool is never ours to stop). *)
+    (match t.exec with Some ex -> Cp_exec.Pool.shutdown ex.pool | None -> ());
     (match t.admin_sock with
     | Some s -> ( try Unix.close s with Unix.Unix_error _ -> ())
     | None -> ());

@@ -22,6 +22,7 @@ val create :
   ?trace_capacity:int ->
   ?admin_port:int ->
   ?wheel_tick:float ->
+  ?exec_domains:int ->
   port_of:(int -> int) ->
   id_of_port:(int -> int) ->
   id:int ->
@@ -46,7 +47,21 @@ val create :
     adopted before the handler runs, so chains propagate across machines
     exactly as in the simulator. [admin_port], when given, additionally
     binds a TCP listener on [host:admin_port] serving a minimal HTTP
-    endpoint — see {!admin_response}. *)
+    endpoint — see {!admin_response}.
+
+    [exec_domains] (default 0) selects the dispatch runtime. At [<= 1] the
+    node keeps the original single-mutex runtime: one lock serializes every
+    handler, byte-identical behaviour to previous releases. At [> 1] the
+    node starts a private {!Cp_exec.Pool} of up to that many worker domains
+    and routes each group's handlers to worker [gid mod domains]: per-worker
+    FIFO queues keep every group strictly serialized in arrival order (the
+    engine's run-to-completion contract, per group), while distinct groups
+    execute concurrently on distinct domains. Each group then owns private
+    metrics, codec scratch, and ambient trace context under its own lock;
+    {!metrics_text} and {!counter} merge them back into node totals and add
+    [exec.domain<i>.busy_ns] / [exec.domain<i>.tasks] utilization counters
+    from the pool. On the pre-OCaml-5 backend the pool has no workers and
+    dispatch degrades to inline execution — same semantics, one domain. *)
 
 val add_group : t -> gid:int -> build:(Cp_proto.Types.msg Cp_sim.Engine.ctx -> Cp_proto.Types.msg Cp_sim.Engine.handlers) -> unit
 (** Host an additional replica group on this node's socket, timer wheel,
@@ -68,13 +83,34 @@ val shutdown : t -> unit
 
 val with_lock : t -> (unit -> 'a) -> 'a
 (** Run [f] under the node's handler mutex — for inspecting protocol state
-    owned by the node (e.g. a client handle) without racing its threads. *)
+    owned by the node (e.g. a client handle) without racing its threads.
+    Under [exec_domains > 1] handlers run under per-group locks instead;
+    use {!with_group} to inspect a group's protocol state. *)
+
+val with_group : t -> gid:int -> (unit -> 'a) -> 'a
+(** Run [f] under the lock that serializes group [gid]'s handlers — the
+    node mutex in single-lock mode, the group's own lock in pool mode.
+    Raises [Invalid_argument] for a gid never added. *)
+
+val parallel_dispatch : t -> bool
+(** Whether this node runs the pool dispatch runtime ([exec_domains > 1]). *)
 
 val metrics : t -> Cp_sim.Metrics.t
 (** The node's metric store. The runtime feeds the same counters as the
     simulator's delivery path ([msgs_sent], [msgs_recv], [bytes_*],
     [sent.<kind>], [recv.<kind>]); protocol code adds its own through the
-    ctx. Take {!with_lock} before reading while threads are live. *)
+    ctx. Take {!with_lock} before reading while threads are live. In pool
+    mode this store only holds the receive-path counters — use {!counter}
+    or {!group_metrics} for handler-side numbers. *)
+
+val counter : t -> string -> int
+(** One counter's node-wide total: the node store plus (in pool mode) every
+    group store, plus the pool's [exec.*] utilization counters. *)
+
+val group_metrics : t -> int -> Cp_sim.Metrics.t
+(** Group [gid]'s metric store — the node store itself in single-lock mode,
+    the group's private store in pool mode. Take {!with_group} before
+    reading while threads are live. *)
 
 val trace : t -> Cp_obs.Trace.t
 (** The node's bounded event-trace ring, fed by the ctx [emit] and by a

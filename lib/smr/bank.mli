@@ -8,7 +8,7 @@
     ["TOTAL"]. Results: ["OK"], ["FAIL"] (unknown account / insufficient
     funds), or a number. *)
 
-include Cp_proto.Appi.S
+include Cp_proto.Appi.Sc
 
 val open_ : string -> int -> string
 

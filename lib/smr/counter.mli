@@ -2,7 +2,7 @@
     by tests that only care about ordering. Operations: ["INC n"], ["GET"];
     both return the current value. *)
 
-include Cp_proto.Appi.S
+include Cp_proto.Appi.Sc
 
 val inc : int -> string
 

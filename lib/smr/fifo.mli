@@ -1,7 +1,7 @@
 (** Replicated FIFO queue. Operations: ["PUSH v"], ["POP"], ["LEN"].
     Results: ["OK"], the popped value, ["EMPTY"], or the length. *)
 
-include Cp_proto.Appi.S
+include Cp_proto.Appi.Sc
 
 val push : string -> string
 
