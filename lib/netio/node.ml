@@ -3,6 +3,8 @@ module Types = Cp_proto.Types
 module Codec = Cp_proto.Codec
 module Wheel = Cp_fleet.Wheel
 module Obs = Cp_obs
+module Transport = Cp_transport.Transport
+module Outbox = Cp_transport.Outbox
 
 (* One hosted replica group. Group 0 is the node's primary (built by
    [create]; its frames stay in the ungrouped pre-fleet format, so a plain
@@ -20,6 +22,7 @@ type group = {
   g_lock : Mutex.t;
   g_metrics : Cp_sim.Metrics.t;
   g_scratch : Codec.scratch;
+  g_outbox : Outbox.t;
 }
 
 (* Parallel-dispatch state ([create ~exec_domains] > 1). The pool is
@@ -51,15 +54,58 @@ type t = {
   trace_ : Obs.Trace.t;
   tctx : Obs.Traceid.t; (* ambient causal trace id; guarded by [lock] *)
   scratch : Codec.scratch; (* guarded by [lock]; senders hold it already *)
+  outbox : Outbox.t; (* guarded by [lock]; flush-coalescing send buffers *)
   admin_sock : Unix.file_descr option; (* TCP listener for /metrics etc. *)
   exec : exec_state option; (* None = the original single-lock runtime *)
 }
 
 let now t = Unix.gettimeofday () -. t.start
 
+(* One datagram, one accounted syscall, explicit error handling. EINTR is
+   retried immediately; EAGAIN/EWOULDBLOCK (a full socket buffer) yields and
+   retries a bounded number of times before counting a drop — UDP loss the
+   protocol already tolerates, but observable now instead of swallowed.
+   Any other error (unreachable peer, scaled-down cluster) is a lost
+   datagram, also counted. *)
+let send_max_retries = 8
+
+let sendto_retry ~sock ~metrics buf ~off ~len addr =
+  let rec go attempts =
+    Cp_sim.Metrics.incr metrics "wire_syscalls";
+    match Unix.sendto sock buf off len [] addr with
+    | _ -> Cp_sim.Metrics.incr metrics ~by:len "wire_bytes"
+    | exception Unix.Unix_error (EINTR, _, _) ->
+      if attempts < send_max_retries then go (attempts + 1)
+      else Cp_sim.Metrics.incr metrics "send_drops"
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+      Cp_sim.Metrics.incr metrics "send_retries";
+      if attempts < send_max_retries then begin
+        Thread.yield ();
+        go (attempts + 1)
+      end
+      else Cp_sim.Metrics.incr metrics "send_drops"
+    | exception Unix.Unix_error (_, _, _) -> Cp_sim.Metrics.incr metrics "send_drops"
+  in
+  go 0
+
+(* A flush-coalescing outbox whose flushes hit the wire through the retrying
+   sender above; built per lock domain (the node in single-lock mode, each
+   group in pool mode) so flushes touch only that domain's metrics. *)
+let mk_outbox ~sock ~addr_of ~metrics =
+  Outbox.create
+    ~send:(fun ~dst buf ~off ~len -> sendto_retry ~sock ~metrics buf ~off ~len (addr_of dst))
+    ()
+
 let with_lock t f =
   Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+  Fun.protect
+    ~finally:(fun () ->
+      (* Anything [f] sent (client submissions, test drivers poking protocol
+         state) leaves in one datagram per destination, before the lock is
+         released. No-op when nothing pends. *)
+      Outbox.flush t.outbox;
+      Mutex.unlock t.lock)
+    f
 
 let parallel_dispatch t = Option.is_some t.exec
 
@@ -91,6 +137,35 @@ let fresh_chain t g_tctx =
   Obs.Traceid.set t.tctx id;
   id
 
+(* The zero-copy send path, shared by both runtimes: serialize the traced
+   (or grouped) frame directly into the outbox's preallocated per-peer
+   buffer — no intermediate string, no per-send copy, no syscall yet. The
+   burst one handler invocation emits leaves at the next flush as one
+   datagram per destination. A frame too large for a whole datagram buffer
+   (never in steady state) takes the old string path, and [wire_copies]
+   counts it so the bench gate can pin the count at zero. *)
+let append_frame ~outbox ~scratch ~sock ~addr_of ~metrics ~gid ~tid ~kind dst msg =
+  Cp_sim.Metrics.incr metrics "msgs_sent";
+  Cp_sim.Metrics.incr metrics ("sent." ^ kind);
+  match
+    Outbox.append outbox ~dst ~encode:(fun buf ~pos ->
+        if gid = 0 then Codec.encode_traced_into buf ~pos ~tid msg
+        else Codec.encode_grouped_into buf ~pos ~gid ~tid msg)
+  with
+  | len ->
+    Cp_sim.Metrics.incr metrics ~by:len "bytes_sent";
+    Cp_sim.Metrics.incr metrics ~by:len "encoded_bytes"
+  | exception Codec.Overflow ->
+    Cp_sim.Metrics.incr metrics "wire_copies";
+    let payload =
+      if gid = 0 then Codec.encode_traced_with scratch ~tid msg
+      else Codec.encode_grouped_with scratch ~gid ~tid msg
+    in
+    let len = String.length payload in
+    Cp_sim.Metrics.incr metrics ~by:len "bytes_sent";
+    Cp_sim.Metrics.incr metrics ~by:len "encoded_bytes";
+    sendto_retry ~sock ~metrics (Bytes.of_string payload) ~off:0 ~len (addr_of dst)
+
 let send t ~gid ~g_tctx dst msg =
   (* Client submissions start a fresh causal chain; everything else carries
      the chain of the event being handled. The id rides the wire as a
@@ -101,42 +176,20 @@ let send t ~gid ~g_tctx dst msg =
     | "client_req" | "client_read" -> fresh_chain t g_tctx
     | _ -> Obs.Traceid.current t.tctx
   in
-  let payload =
-    if gid = 0 then Codec.encode_traced_with t.scratch ~tid msg
-    else Codec.encode_grouped_with t.scratch ~gid ~tid msg
-  in
-  Cp_sim.Metrics.incr t.metrics "msgs_sent";
-  Cp_sim.Metrics.incr t.metrics ~by:(String.length payload) "bytes_sent";
-  Cp_sim.Metrics.incr t.metrics ~by:(String.length payload) "encoded_bytes";
-  Cp_sim.Metrics.incr t.metrics ("sent." ^ Types.classify msg);
-  try
-    ignore
-      (Unix.sendto t.sock (Bytes.of_string payload) 0 (String.length payload) []
-         (t.addr_of dst))
-  with Unix.Unix_error _ -> () (* unreachable peer = lost datagram *)
+  append_frame ~outbox:t.outbox ~scratch:t.scratch ~sock:t.sock ~addr_of:t.addr_of
+    ~metrics:t.metrics ~gid ~tid ~kind:(Types.classify msg) dst msg
 
 (* Pool-mode send: caller holds the group's lock, so the group's own
-   scratch, ambient context, and metrics are safe; concurrent sendto on one
-   UDP socket is kernel-atomic per datagram. *)
+   outbox, scratch, ambient context, and metrics are safe; concurrent
+   sendto on one UDP socket is kernel-atomic per datagram. *)
 let send_pool t ~gid ~(g : group) dst msg =
   let tid =
     match Types.classify msg with
     | "client_req" | "client_read" -> Obs.Traceid.mint g.g_tctx
     | _ -> Obs.Traceid.current g.g_tctx
   in
-  let payload =
-    if gid = 0 then Codec.encode_traced_with g.g_scratch ~tid msg
-    else Codec.encode_grouped_with g.g_scratch ~gid ~tid msg
-  in
-  Cp_sim.Metrics.incr g.g_metrics "msgs_sent";
-  Cp_sim.Metrics.incr g.g_metrics ~by:(String.length payload) "bytes_sent";
-  Cp_sim.Metrics.incr g.g_metrics ~by:(String.length payload) "encoded_bytes";
-  Cp_sim.Metrics.incr g.g_metrics ("sent." ^ Types.classify msg);
-  try
-    ignore
-      (Unix.sendto t.sock (Bytes.of_string payload) 0 (String.length payload) []
-         (t.addr_of dst))
-  with Unix.Unix_error _ -> ()
+  append_frame ~outbox:g.g_outbox ~scratch:g.g_scratch ~sock:t.sock ~addr_of:t.addr_of
+    ~metrics:g.g_metrics ~gid ~tid ~kind:(Types.classify msg) dst msg
 
 (* Must be called with the lock held. All groups share the wheel: adding or
    cancelling a timer is O(1) however many groups the node hosts, and the
@@ -191,7 +244,9 @@ let fire_timer t wid (gid, tag) =
        from the owning group's origin. *)
     ignore (fresh_chain t g.g_tctx);
     guard t ~where:(Printf.sprintf "on_timer %S" tag) (fun () ->
-        g.g_handlers.Engine.on_timer ~tid:wid ~tag)
+        g.g_handlers.Engine.on_timer ~tid:wid ~tag);
+    (* One timer step's burst leaves as one datagram per destination. *)
+    Outbox.flush t.outbox
 
 let timer_loop t =
   Mutex.lock t.lock;
@@ -227,7 +282,8 @@ let dispatch_timer t ex wid (gid, tag) =
           (fun () ->
             ignore (Obs.Traceid.mint g.g_tctx);
             guard_pool t ex ~g ~where:(Printf.sprintf "on_timer %S" tag) (fun () ->
-                g.g_handlers.Engine.on_timer ~tid:wid ~tag)))
+                g.g_handlers.Engine.on_timer ~tid:wid ~tag);
+            Outbox.flush g.g_outbox))
 
 let timer_loop_pool t ex =
   while not t.stopping do
@@ -244,55 +300,66 @@ let timer_loop_pool t ex =
     if !fired = [] then Thread.delay 1e-3
   done
 
-(* Pool-mode delivery of one decoded datagram. Node-level counters stay on
+(* Pool-mode delivery of one decoded frame. Node-level counters stay on
    the node's metrics under the node lock (brief, never held across a
    submit); everything group-level runs on the group's worker. *)
-let recv_dispatch_pool t ex ~peer ~len ~decode_ns ~gid msg ~trace =
-  let src =
-    match peer with
-    | Unix.ADDR_INET (_, port) -> (
-      try Some (t.id_of_port port)
-      with exn ->
-        with_lock t (fun () -> Cp_sim.Metrics.incr t.metrics "handler_errors");
-        emit_pool t ex ~tid:Obs.Traceid.none ~metrics:t.metrics
-          (Obs.Event.Debug
-             (Printf.sprintf "id_of_port %d raised: %s" port (Printexc.to_string exn)));
-        None)
-    | Unix.ADDR_UNIX _ -> Some (-1)
+let recv_dispatch_pool t ex ~src ~decode_ns ~(f : Codec.framed) =
+  let gid = f.Codec.f_gid and msg = f.Codec.f_msg in
+  let len = f.Codec.f_bytes in
+  let kind = Types.classify msg in
+  let g =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.groups gid with
+        | None ->
+          Cp_sim.Metrics.incr t.metrics "mux_unknown_group";
+          None
+        | Some g ->
+          Cp_sim.Metrics.incr t.metrics ~by:decode_ns "prof.decode.ns";
+          if decode_ns > 0 then Cp_sim.Metrics.incr t.metrics "prof.decode.n";
+          Cp_sim.Metrics.incr t.metrics "msgs_recv";
+          Cp_sim.Metrics.incr t.metrics ~by:len "bytes_recv";
+          Cp_sim.Metrics.incr t.metrics ("recv." ^ kind);
+          Some g)
   in
-  match src with
-  | None -> () (* unknown peer: drop *)
-  | Some src -> (
+  match g with
+  | None -> ()
+  | Some g ->
+    Cp_exec.Pool.submit ex.pool ~worker:(gid mod ex.workers) (fun () ->
+        Mutex.lock g.g_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock g.g_lock)
+          (fun () ->
+            (* Everything the handler emits/sends continues the
+               frame's causal chain. *)
+            Obs.Traceid.adopt g.g_tctx f.Codec.f_tid;
+            emit_pool t ex ~tid:(Obs.Traceid.current g.g_tctx) ~metrics:g.g_metrics
+              (Obs.Event.Msg_recv { src; kind; bytes = len });
+            guard_pool t ex ~g ~where:("on_message " ^ kind) (fun () ->
+                g.g_handlers.Engine.on_message ~src msg);
+            Outbox.flush g.g_outbox))
+
+(* Single-lock delivery of one decoded frame; caller holds the node lock
+   and flushes the outbox after the whole datagram. *)
+let recv_dispatch_locked t ~src ~decode_ns ~(f : Codec.framed) =
+  match Hashtbl.find_opt t.groups f.Codec.f_gid with
+  | None ->
+    (* Misrouted or not-yet-added group: count and drop. *)
+    Cp_sim.Metrics.incr t.metrics "mux_unknown_group"
+  | Some g ->
+    let msg = f.Codec.f_msg in
+    let len = f.Codec.f_bytes in
     let kind = Types.classify msg in
-    let g =
-      with_lock t (fun () ->
-          match Hashtbl.find_opt t.groups gid with
-          | None ->
-            Cp_sim.Metrics.incr t.metrics "mux_unknown_group";
-            None
-          | Some g ->
-            Cp_sim.Metrics.incr t.metrics ~by:decode_ns "prof.decode.ns";
-            Cp_sim.Metrics.incr t.metrics "prof.decode.n";
-            Cp_sim.Metrics.incr t.metrics "msgs_recv";
-            Cp_sim.Metrics.incr t.metrics ~by:len "bytes_recv";
-            Cp_sim.Metrics.incr t.metrics ("recv." ^ kind);
-            Some g)
-    in
-    match g with
-    | None -> ()
-    | Some g ->
-      Cp_exec.Pool.submit ex.pool ~worker:(gid mod ex.workers) (fun () ->
-          Mutex.lock g.g_lock;
-          Fun.protect
-            ~finally:(fun () -> Mutex.unlock g.g_lock)
-            (fun () ->
-              (* Everything the handler emits/sends continues the
-                 datagram's causal chain. *)
-              Obs.Traceid.adopt g.g_tctx trace;
-              emit_pool t ex ~tid:(Obs.Traceid.current g.g_tctx) ~metrics:g.g_metrics
-                (Obs.Event.Msg_recv { src; kind; bytes = len });
-              guard_pool t ex ~g ~where:("on_message " ^ kind) (fun () ->
-                  g.g_handlers.Engine.on_message ~src msg))))
+    Cp_sim.Metrics.incr t.metrics ~by:decode_ns "prof.decode.ns";
+    if decode_ns > 0 then Cp_sim.Metrics.incr t.metrics "prof.decode.n";
+    Cp_sim.Metrics.incr t.metrics "msgs_recv";
+    Cp_sim.Metrics.incr t.metrics ~by:len "bytes_recv";
+    Cp_sim.Metrics.incr t.metrics ("recv." ^ kind);
+    (* Everything the handler emits/sends continues the frame's causal
+       chain. *)
+    Obs.Traceid.adopt t.tctx f.Codec.f_tid;
+    emit_ev t (Obs.Event.Msg_recv { src; kind; bytes = len });
+    guard t ~where:("on_message " ^ kind) (fun () ->
+        g.g_handlers.Engine.on_message ~src msg)
 
 let recv_loop t =
   let buf = Bytes.create 65536 in
@@ -307,56 +374,62 @@ let recv_loop t =
       | exception Unix.Unix_error _ -> loop ()
       | len, peer ->
         (* Decode outside the lock (it touches no shared state); charge the
-           duration to the "decode" profiler stage once inside. A grouped
-           frame names its group; plain and traced frames are group 0. *)
+           duration to the "decode" profiler stage once per datagram. A
+           packed datagram carries a whole send burst; bare grouped/traced/
+           plain frames decode as a one-frame burst (see
+           {!Cp_proto.Codec.decode_frames}). The sender is resolved once
+           per datagram: every frame inside shares the source socket. *)
         let d0 = Unix.gettimeofday () in
-        let decoded = Codec.decode_grouped (Bytes.sub_string buf 0 len) in
+        let decoded = Codec.decode_frames (Bytes.sub_string buf 0 len) in
         let decode_ns = int_of_float ((Unix.gettimeofday () -. d0) *. 1e9) in
         (match decoded with
         | Error _ -> () (* junk datagram: drop *)
-        | Ok (gid, msg, trace) -> (
-          match t.exec with
-          | Some ex -> recv_dispatch_pool t ex ~peer ~len ~decode_ns ~gid msg ~trace
-          | None ->
-            Mutex.lock t.lock;
-            Fun.protect
-              ~finally:(fun () -> Mutex.unlock t.lock)
-              (fun () ->
-                let src =
-                  match peer with
-                  | Unix.ADDR_INET (_, port) -> (
-                    (* A user-supplied map: a datagram from an unmapped port
-                       must be dropped, not kill the receive thread. *)
-                    try Some (t.id_of_port port)
-                    with exn ->
-                      Cp_sim.Metrics.incr t.metrics "handler_errors";
-                      emit_ev t
-                        (Obs.Event.Debug
-                           (Printf.sprintf "id_of_port %d raised: %s" port
-                              (Printexc.to_string exn)));
-                      None)
-                  | Unix.ADDR_UNIX _ -> Some (-1)
+        | Ok frames -> (
+          let src =
+            match peer with
+            | Unix.ADDR_INET (_, port) -> (
+              (* A user-supplied map: a datagram from an unmapped port
+                 must be dropped, not kill the receive thread. *)
+              try Some (t.id_of_port port)
+              with exn ->
+                let line =
+                  Printf.sprintf "id_of_port %d raised: %s" port (Printexc.to_string exn)
                 in
-                match src with
-                | None -> () (* unknown peer: drop *)
-                | Some src -> (
-                  match Hashtbl.find_opt t.groups gid with
-                  | None ->
-                    (* Misrouted or not-yet-added group: count and drop. *)
-                    Cp_sim.Metrics.incr t.metrics "mux_unknown_group"
-                  | Some g ->
-                    let kind = Types.classify msg in
-                    Cp_sim.Metrics.incr t.metrics ~by:decode_ns "prof.decode.ns";
-                    Cp_sim.Metrics.incr t.metrics "prof.decode.n";
-                    Cp_sim.Metrics.incr t.metrics "msgs_recv";
-                    Cp_sim.Metrics.incr t.metrics ~by:len "bytes_recv";
-                    Cp_sim.Metrics.incr t.metrics ("recv." ^ kind);
-                    (* Everything the handler emits/sends continues the
-                       datagram's causal chain. *)
-                    Obs.Traceid.adopt t.tctx trace;
-                    emit_ev t (Obs.Event.Msg_recv { src; kind; bytes = len });
-                    guard t ~where:("on_message " ^ kind) (fun () ->
-                        g.g_handlers.Engine.on_message ~src msg)))));
+                (match t.exec with
+                | Some ex ->
+                  with_lock t (fun () -> Cp_sim.Metrics.incr t.metrics "handler_errors");
+                  emit_pool t ex ~tid:Obs.Traceid.none ~metrics:t.metrics
+                    (Obs.Event.Debug line)
+                | None ->
+                  with_lock t (fun () ->
+                      Cp_sim.Metrics.incr t.metrics "handler_errors";
+                      emit_ev t (Obs.Event.Debug line)));
+                None)
+            | Unix.ADDR_UNIX _ -> Some (-1)
+          in
+          match src with
+          | None -> () (* unknown peer: drop *)
+          | Some src -> (
+            match t.exec with
+            | Some ex ->
+              List.iteri
+                (fun i f ->
+                  recv_dispatch_pool t ex ~src ~decode_ns:(if i = 0 then decode_ns else 0) ~f)
+                frames
+            | None ->
+              Mutex.lock t.lock;
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock t.lock)
+                (fun () ->
+                  List.iteri
+                    (fun i f ->
+                      recv_dispatch_locked t ~src
+                        ~decode_ns:(if i = 0 then decode_ns else 0)
+                        ~f)
+                    frames;
+                  (* The handlers' reply bursts leave as one datagram per
+                     destination. *)
+                  Outbox.flush t.outbox))));
         loop ()
     end
   in
@@ -497,62 +570,100 @@ let admin_loop t sock =
       (try Unix.close client with Unix.Unix_error _ -> ())
   done
 
-(* The fabricated capability record for one hosted group. Each group gets
-   its own RNG stream and in-memory stable store; [now], the trace ring,
-   and the socket are the node's. In pool mode metrics/emit/send go through
-   the group's own stores (serialized by its lock); in single-lock mode
-   they are the node's, exactly as before. *)
+(* The UDP runtime as a {!Cp_transport.Transport.S} instance: a handle is
+   one hosted group on one node, and each capability dispatches on the
+   node's runtime mode. Each group gets its own RNG stream and in-memory
+   stable store; [now], the trace ring, and the socket are the node's. In
+   pool mode metrics/emit/send go through the group's own stores
+   (serialized by its lock); in single-lock mode they are the node's,
+   exactly as before. *)
+type handle = {
+  h_node : t;
+  h_gid : int;
+  h_group : group;
+  h_rng : Cp_util.Rng.t;
+  h_stable : Cp_sim.Stable.t;
+}
+
+module Udp_transport = struct
+  type nonrec t = handle
+
+  let self h = h.h_node.id
+
+  let now h = now h.h_node
+
+  let send h ~dst msg =
+    match h.h_node.exec with
+    | None -> send h.h_node ~gid:h.h_gid ~g_tctx:h.h_group.g_tctx dst msg
+    | Some _ -> send_pool h.h_node ~gid:h.h_gid ~g:h.h_group dst msg
+
+  let set_timer h ?tag delay =
+    match h.h_node.exec with
+    | None -> set_timer h.h_node ~gid:h.h_gid ?tag delay
+    | Some ex -> set_timer_pool h.h_node ex ~gid:h.h_gid ?tag delay
+
+  let cancel_timer h wid =
+    match h.h_node.exec with
+    | None -> cancel_timer h.h_node wid
+    | Some ex -> cancel_timer_pool h.h_node ex wid
+
+  let rng h = h.h_rng
+
+  let stable h = h.h_stable
+
+  let metrics h =
+    match h.h_node.exec with None -> h.h_node.metrics | Some _ -> h.h_group.g_metrics
+
+  let emit h ev =
+    match h.h_node.exec with
+    | None -> emit_ev h.h_node ev
+    | Some ex ->
+      emit_pool h.h_node ex
+        ~tid:(Obs.Traceid.current h.h_group.g_tctx)
+        ~metrics:h.h_group.g_metrics ev
+
+  let tctx h = h.h_group.g_tctx
+end
+
+(* The capability record for one hosted group, closed over the transport
+   instance above — the engine layer never sees the difference between the
+   simulator's record and this one. *)
 let make_ctx t ~gid ~(g : group) =
-  let rng = Cp_util.Rng.create ((t.seed * 1009) + t.id + (gid * 7919)) in
-  let stable = Cp_sim.Stable.create () in
-  match t.exec with
-  | None ->
+  let h =
     {
-      Engine.self = t.id;
-      now = (fun () -> now t);
-      send = (fun dst msg -> send t ~gid ~g_tctx:g.g_tctx dst msg);
-      set_timer = (fun ?tag delay -> set_timer t ~gid ?tag delay);
-      cancel_timer = (fun wid -> cancel_timer t wid);
-      rng;
-      stable;
-      metrics = t.metrics;
-      emit = (fun ev -> emit_ev t ev);
-      tctx = g.g_tctx;
+      h_node = t;
+      h_gid = gid;
+      h_group = g;
+      h_rng = Cp_util.Rng.create ((t.seed * 1009) + t.id + (gid * 7919));
+      h_stable = Cp_sim.Stable.create ();
     }
-  | Some ex ->
-    {
-      Engine.self = t.id;
-      now = (fun () -> now t);
-      send = (fun dst msg -> send_pool t ~gid ~g dst msg);
-      set_timer = (fun ?tag delay -> set_timer_pool t ex ~gid ?tag delay);
-      cancel_timer = (fun wid -> cancel_timer_pool t ex wid);
-      rng;
-      stable;
-      metrics = g.g_metrics;
-      emit =
-        (fun ev ->
-          emit_pool t ex ~tid:(Obs.Traceid.current g.g_tctx) ~metrics:g.g_metrics ev);
-      tctx = g.g_tctx;
-    }
+  in
+  Transport.ctx (Transport.Packed ((module Udp_transport), h))
 
 (* Build a group's shared-state slots. The handlers cell is filled right
    after [build] returns; the ctx closes over the record, so handler
    effects during build (recovery sends, election timers) already work. *)
 let alloc_group t ~g_tctx =
   let shared = Option.is_none t.exec in
+  let g_metrics = if shared then t.metrics else Cp_sim.Metrics.create () in
   {
     g_handlers =
       { Engine.on_message = (fun ~src:_ _ -> ()); on_timer = (fun ~tid:_ ~tag:_ -> ()) };
     g_tctx;
     g_lock = Mutex.create ();
-    g_metrics = (if shared then t.metrics else Cp_sim.Metrics.create ());
+    g_metrics;
     g_scratch = (if shared then t.scratch else Codec.create_scratch ());
+    g_outbox =
+      (if shared then t.outbox
+       else mk_outbox ~sock:t.sock ~addr_of:t.addr_of ~metrics:g_metrics);
   }
 
 let build_group t ~gid ~g_tctx ~build =
   let g0 = alloc_group t ~g_tctx in
   let ctx = make_ctx t ~gid ~g:g0 in
   let handlers = build ctx in
+  (* Sends during build (recovery, election timers) leave immediately. *)
+  Outbox.flush g0.g_outbox;
   { g0 with g_handlers = handlers }
 
 let add_group t ~gid ~build =
@@ -578,7 +689,11 @@ let with_group t ~gid f =
     | None -> with_lock t f
     | Some _ ->
       Mutex.lock g.g_lock;
-      Fun.protect ~finally:(fun () -> Mutex.unlock g.g_lock) f)
+      Fun.protect
+        ~finally:(fun () ->
+          Outbox.flush g.g_outbox;
+          Mutex.unlock g.g_lock)
+        f)
 
 let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity)
     ?admin_port ?(wheel_tick = 1e-3) ?(exec_domains = 0) ~port_of ~id_of_port ~id
@@ -619,12 +734,14 @@ let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity)
         }
     else None
   in
+  let addr_of dst = Unix.ADDR_INET (inet, port_of dst) in
+  let metrics = Cp_sim.Metrics.create () in
   let t =
     {
       id;
       seed;
       sock;
-      addr_of = (fun dst -> Unix.ADDR_INET (inet, port_of dst));
+      addr_of;
       id_of_port;
       lock = Mutex.create ();
       cond = Condition.create ();
@@ -633,10 +750,11 @@ let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity)
       stopping = false;
       threads = [];
       start = Unix.gettimeofday ();
-      metrics = Cp_sim.Metrics.create ();
+      metrics;
       trace_ = Obs.Trace.create ~capacity:trace_capacity ();
       tctx = Obs.Traceid.create ~origin:id;
       scratch = Codec.create_scratch ();
+      outbox = mk_outbox ~sock ~addr_of ~metrics;
       admin_sock;
       exec;
     }

@@ -17,6 +17,21 @@
 
 type t
 
+type handle
+(** One hosted group on one node — the endpoint handle of the UDP
+    transport instance below. *)
+
+module Udp_transport : Cp_transport.Transport.S with type t = handle
+(** The UDP runtime expressed as a transport instance: the ctx handed to
+    [build] is {!Cp_transport.Transport.ctx} over this module, so the UDP
+    node, the simulator, and the in-process ring fabric are interchangeable
+    behind one signature. Sends serialize zero-copy into per-destination
+    outbox buffers ({!Cp_transport.Outbox}) and the burst each handler
+    invocation emits is flushed as one datagram per destination
+    (single-frame flushes stay byte-identical to the unbatched format).
+    Wire-path health is observable via the [wire_syscalls], [wire_bytes],
+    [wire_copies], [send_retries], and [send_drops] counters. *)
+
 val create :
   ?host:string ->
   ?trace_capacity:int ->

@@ -5,195 +5,261 @@
      ballot    := int int
      entry     := tag:byte ...
      list      := varint count, elements
-   Decoding uses a cursor and returns Result; it never raises. *)
+   Decoding uses a cursor and returns Result; it never raises.
+
+   Frames compose outward: a plain frame may carry a trace-id suffix
+   (marker 0xf5), be prefixed by a group id (marker 0xf6), and several
+   complete frames may ride one datagram as a packed frame (marker 0xf7,
+   each inner frame preceded by a 16-bit little-endian length). All three
+   markers are outside the message tag range, so the four formats are
+   mutually unambiguous. *)
+
+let trace_marker = '\xf5'
+
+let group_marker = '\xf6'
+
+let packed_marker = '\xf7'
 
 (* --- writing ---------------------------------------------------------- *)
 
-let write_varint buf n =
-  (* Zig-zag so that small negative ints (round = -1 in Ballot.bottom) stay
-     short. The zig-zagged value is treated as an unsigned 63-bit quantity:
-     [lsr] in the loop makes a negative [z] (bit 62 set, i.e. the zig-zag of
-     an int near min_int/max_int) shift down as unsigned, so the full native
-     range encodes in at most 9 bytes. *)
-  let z = (n lsl 1) lxor (n asr 62) in
-  let rec go z =
-    if z land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr (z land 0x7f))
-    else begin
-      Buffer.add_char buf (Char.chr (0x80 lor (z land 0x7f)));
-      go (z lsr 7)
+(* One writer, two output sinks. The hot send path serializes straight into
+   a caller-provided [Bytes.t] (preallocated per-peer wire buffers, ring
+   transports) with no intermediate string; the [Buffer] sink remains for
+   cold paths and for callers that want a growable target. Sharing the
+   message grammar through this functor is what guarantees the two paths
+   stay byte-identical. *)
+module type SINK = sig
+  type t
+
+  val char : t -> char -> unit
+
+  val string : t -> string -> unit
+end
+
+module Writer (Out : SINK) = struct
+  let varint out n =
+    (* Zig-zag so that small negative ints (round = -1 in Ballot.bottom) stay
+       short. The zig-zagged value is treated as an unsigned 63-bit quantity:
+       [lsr] in the loop makes a negative [z] (bit 62 set, i.e. the zig-zag of
+       an int near min_int/max_int) shift down as unsigned, so the full native
+       range encodes in at most 9 bytes. *)
+    let z = (n lsl 1) lxor (n asr 62) in
+    let rec go z =
+      if z land lnot 0x7f = 0 then Out.char out (Char.chr (z land 0x7f))
+      else begin
+        Out.char out (Char.chr (0x80 lor (z land 0x7f)));
+        go (z lsr 7)
+      end
+    in
+    go z
+
+  let string_ out s =
+    varint out (String.length s);
+    Out.string out s
+
+  (* Floats (lease timestamps) travel as raw IEEE-754 bits, little-endian. *)
+  let float_ out f =
+    let bits = Int64.bits_of_float f in
+    for i = 0 to 7 do
+      Out.char out
+        (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xffL)))
+    done
+
+  let ballot out (b : Ballot.t) =
+    varint out b.Ballot.round;
+    varint out b.Ballot.leader
+
+  let reconfig out = function
+    | Types.Remove_main m ->
+      Out.char out '\000';
+      varint out m
+    | Types.Add_main m ->
+      Out.char out '\001';
+      varint out m
+
+  let command out ({ client; seq; op } : Types.command) =
+    varint out client;
+    varint out seq;
+    string_ out op
+
+  let entry out = function
+    | Types.Noop -> Out.char out '\000'
+    | Types.App cmd ->
+      Out.char out '\001';
+      command out cmd
+    | Types.Reconfig r ->
+      Out.char out '\002';
+      reconfig out r
+    | Types.Batch cmds ->
+      Out.char out '\003';
+      varint out (List.length cmds);
+      List.iter (command out) cmds
+
+  let list_ out write xs =
+    varint out (List.length xs);
+    List.iter (write out) xs
+
+  let vote out (v : Types.vote) =
+    ballot out v.Types.vballot;
+    entry out v.Types.ventry
+
+  let ivote out (i, v) =
+    varint out i;
+    vote out v
+
+  let ientry out (i, e) =
+    varint out i;
+    entry out e
+
+  let config out (c : Config.t) =
+    varint out c.Config.epoch;
+    list_ out varint c.Config.mains;
+    list_ out varint c.Config.aux_pool
+
+  let iconfig out (i, c) =
+    varint out i;
+    config out c
+
+  let reply out (seq, r) =
+    varint out seq;
+    string_ out r
+
+  let session out (client, (floor, replies)) =
+    varint out client;
+    varint out floor;
+    list_ out reply replies
+
+  let snapshot out (s : Types.snapshot) =
+    varint out s.Types.next_instance;
+    string_ out s.Types.app_state;
+    list_ out session s.Types.sessions;
+    config out s.Types.base_config;
+    list_ out iconfig s.Types.pending_configs
+
+  let msg out (m : Types.msg) =
+    match m with
+    | Types.P1a { ballot = b; low } ->
+      Out.char out '\000';
+      ballot out b;
+      varint out low
+    | Types.P1b { ballot = b; from; votes; compacted_upto } ->
+      Out.char out '\001';
+      ballot out b;
+      varint out from;
+      list_ out ivote votes;
+      varint out compacted_upto
+    | Types.P1Nack { ballot = b; promised } ->
+      Out.char out '\002';
+      ballot out b;
+      ballot out promised
+    | Types.P2a { ballot = b; instance; entry = e } ->
+      Out.char out '\003';
+      ballot out b;
+      varint out instance;
+      entry out e
+    | Types.P2b { ballot = b; instance; from } ->
+      Out.char out '\004';
+      ballot out b;
+      varint out instance;
+      varint out from
+    | Types.P2Nack { ballot = b; instance; promised } ->
+      Out.char out '\005';
+      ballot out b;
+      varint out instance;
+      ballot out promised
+    | Types.Commit { instance; entry = e } ->
+      Out.char out '\006';
+      varint out instance;
+      entry out e
+    | Types.CommitFloor { upto } ->
+      Out.char out '\007';
+      varint out upto
+    | Types.Heartbeat { ballot = b; commit_floor; sent_at } ->
+      Out.char out '\008';
+      ballot out b;
+      varint out commit_floor;
+      float_ out sent_at
+    | Types.HeartbeatAck { ballot = b; from; prefix; echo } ->
+      Out.char out '\009';
+      ballot out b;
+      varint out from;
+      varint out prefix;
+      float_ out echo
+    | Types.CatchupReq { from; from_instance } ->
+      Out.char out '\010';
+      varint out from;
+      varint out from_instance
+    | Types.CatchupResp { entries; snapshot = snap } ->
+      Out.char out '\011';
+      list_ out ientry entries;
+      (match snap with
+      | None -> Out.char out '\000'
+      | Some s ->
+        Out.char out '\001';
+        snapshot out s)
+    | Types.JoinReq { from } ->
+      Out.char out '\012';
+      varint out from
+    | Types.ClientReq { client; seq; op } ->
+      Out.char out '\013';
+      varint out client;
+      varint out seq;
+      string_ out op
+    | Types.ClientResp { client; seq; result } ->
+      Out.char out '\014';
+      varint out client;
+      varint out seq;
+      string_ out result
+    | Types.Redirect { leader_hint } ->
+      Out.char out '\015';
+      varint out leader_hint
+    | Types.ClientRead { client; seq; op } ->
+      Out.char out '\016';
+      varint out client;
+      varint out seq;
+      string_ out op
+
+  (* A traced frame is a plain frame followed by a marker byte and a varint
+     trace id. The marker cannot begin a valid message (tags stop at 16), so
+     [decode_traced] is unambiguous; frames from senders that predate tracing
+     simply have no suffix and decode with trace id 0 ("untraced"). A zero
+     trace id encodes to no suffix at all, keeping traced and plain encoders
+     byte-identical in the untraced case. *)
+  let traced out ~tid m =
+    msg out m;
+    if tid <> 0 then begin
+      Out.char out trace_marker;
+      varint out tid
     end
-  in
-  go z
 
-let write_string buf s =
-  write_varint buf (String.length s);
-  Buffer.add_string buf s
+  (* A grouped frame is a marker byte, a varint group id, then a complete
+     traced frame — see the {!decode_grouped} doc below. *)
+  let grouped out ~gid ~tid m =
+    if gid < 0 then invalid_arg "Codec.encode_grouped: negative group id";
+    Out.char out group_marker;
+    varint out gid;
+    traced out ~tid m
+end
 
-(* Floats (lease timestamps) travel as raw IEEE-754 bits, little-endian. *)
-let write_float buf f =
-  let bits = Int64.bits_of_float f in
-  for i = 0 to 7 do
-    Buffer.add_char buf
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xffL)))
-  done
+module Buffer_sink = struct
+  type t = Buffer.t
 
-let write_ballot buf (b : Ballot.t) =
-  write_varint buf b.Ballot.round;
-  write_varint buf b.Ballot.leader
+  let char = Buffer.add_char
 
-let write_reconfig buf = function
-  | Types.Remove_main m ->
-    Buffer.add_char buf '\000';
-    write_varint buf m
-  | Types.Add_main m ->
-    Buffer.add_char buf '\001';
-    write_varint buf m
+  let string = Buffer.add_string
+end
 
-let write_command buf ({ client; seq; op } : Types.command) =
-  write_varint buf client;
-  write_varint buf seq;
-  write_string buf op
+module BW = Writer (Buffer_sink)
 
-let write_entry buf = function
-  | Types.Noop -> Buffer.add_char buf '\000'
-  | Types.App cmd ->
-    Buffer.add_char buf '\001';
-    write_command buf cmd
-  | Types.Reconfig r ->
-    Buffer.add_char buf '\002';
-    write_reconfig buf r
-  | Types.Batch cmds ->
-    Buffer.add_char buf '\003';
-    write_varint buf (List.length cmds);
-    List.iter (write_command buf) cmds
+let write_varint = BW.varint
 
-let write_list buf write xs =
-  write_varint buf (List.length xs);
-  List.iter (write buf) xs
+let write_string = BW.string_
 
-let write_vote buf (v : Types.vote) =
-  write_ballot buf v.Types.vballot;
-  write_entry buf v.Types.ventry
-
-let write_ivote buf (i, v) =
-  write_varint buf i;
-  write_vote buf v
-
-let write_ientry buf (i, e) =
-  write_varint buf i;
-  write_entry buf e
-
-let write_config buf (c : Config.t) =
-  write_varint buf c.Config.epoch;
-  write_list buf write_varint c.Config.mains;
-  write_list buf write_varint c.Config.aux_pool
-
-let write_iconfig buf (i, c) =
-  write_varint buf i;
-  write_config buf c
-
-let write_reply buf (seq, reply) =
-  write_varint buf seq;
-  write_string buf reply
-
-let write_session buf (client, (floor, replies)) =
-  write_varint buf client;
-  write_varint buf floor;
-  write_list buf write_reply replies
-
-let write_snapshot buf (s : Types.snapshot) =
-  write_varint buf s.Types.next_instance;
-  write_string buf s.Types.app_state;
-  write_list buf write_session s.Types.sessions;
-  write_config buf s.Types.base_config;
-  write_list buf write_iconfig s.Types.pending_configs
-
-let encode_into buf (msg : Types.msg) =
-  match msg with
-  | Types.P1a { ballot; low } ->
-    Buffer.add_char buf '\000';
-    write_ballot buf ballot;
-    write_varint buf low
-  | Types.P1b { ballot; from; votes; compacted_upto } ->
-    Buffer.add_char buf '\001';
-    write_ballot buf ballot;
-    write_varint buf from;
-    write_list buf write_ivote votes;
-    write_varint buf compacted_upto
-  | Types.P1Nack { ballot; promised } ->
-    Buffer.add_char buf '\002';
-    write_ballot buf ballot;
-    write_ballot buf promised
-  | Types.P2a { ballot; instance; entry } ->
-    Buffer.add_char buf '\003';
-    write_ballot buf ballot;
-    write_varint buf instance;
-    write_entry buf entry
-  | Types.P2b { ballot; instance; from } ->
-    Buffer.add_char buf '\004';
-    write_ballot buf ballot;
-    write_varint buf instance;
-    write_varint buf from
-  | Types.P2Nack { ballot; instance; promised } ->
-    Buffer.add_char buf '\005';
-    write_ballot buf ballot;
-    write_varint buf instance;
-    write_ballot buf promised
-  | Types.Commit { instance; entry } ->
-    Buffer.add_char buf '\006';
-    write_varint buf instance;
-    write_entry buf entry
-  | Types.CommitFloor { upto } ->
-    Buffer.add_char buf '\007';
-    write_varint buf upto
-  | Types.Heartbeat { ballot; commit_floor; sent_at } ->
-    Buffer.add_char buf '\008';
-    write_ballot buf ballot;
-    write_varint buf commit_floor;
-    write_float buf sent_at
-  | Types.HeartbeatAck { ballot; from; prefix; echo } ->
-    Buffer.add_char buf '\009';
-    write_ballot buf ballot;
-    write_varint buf from;
-    write_varint buf prefix;
-    write_float buf echo
-  | Types.CatchupReq { from; from_instance } ->
-    Buffer.add_char buf '\010';
-    write_varint buf from;
-    write_varint buf from_instance
-  | Types.CatchupResp { entries; snapshot } ->
-    Buffer.add_char buf '\011';
-    write_list buf write_ientry entries;
-    (match snapshot with
-    | None -> Buffer.add_char buf '\000'
-    | Some s ->
-      Buffer.add_char buf '\001';
-      write_snapshot buf s)
-  | Types.JoinReq { from } ->
-    Buffer.add_char buf '\012';
-    write_varint buf from
-  | Types.ClientReq { client; seq; op } ->
-    Buffer.add_char buf '\013';
-    write_varint buf client;
-    write_varint buf seq;
-    write_string buf op
-  | Types.ClientResp { client; seq; result } ->
-    Buffer.add_char buf '\014';
-    write_varint buf client;
-    write_varint buf seq;
-    write_string buf result
-  | Types.Redirect { leader_hint } ->
-    Buffer.add_char buf '\015';
-    write_varint buf leader_hint
-  | Types.ClientRead { client; seq; op } ->
-    Buffer.add_char buf '\016';
-    write_varint buf client;
-    write_varint buf seq;
-    write_string buf op
+let encode_to_buffer = BW.msg
 
 let encode msg =
   let buf = Buffer.create 64 in
-  encode_into buf msg;
+  BW.msg buf msg;
   Buffer.contents buf
 
 (* A reusable encode buffer. Hot send paths encode thousands of messages a
@@ -205,8 +271,72 @@ let create_scratch ?(size = 256) () = Buffer.create size
 
 let encode_with scratch msg =
   Buffer.clear scratch;
-  encode_into scratch msg;
+  BW.msg scratch msg;
   Buffer.contents scratch
+
+let encode_traced ~tid msg =
+  let buf = Buffer.create 64 in
+  BW.traced buf ~tid msg;
+  Buffer.contents buf
+
+let encode_traced_with (scratch : scratch) ~tid msg =
+  Buffer.clear scratch;
+  BW.traced scratch ~tid msg;
+  Buffer.contents scratch
+
+let encode_grouped ~gid ~tid msg =
+  let buf = Buffer.create 64 in
+  BW.grouped buf ~gid ~tid msg;
+  Buffer.contents buf
+
+let encode_grouped_with (scratch : scratch) ~gid ~tid msg =
+  Buffer.clear scratch;
+  BW.grouped scratch ~gid ~tid msg;
+  Buffer.contents scratch
+
+(* --- zero-copy writing ------------------------------------------------- *)
+
+(* The [Bytes] sink serializes at a cursor inside a caller-owned buffer and
+   refuses to run past its end: the wire path encodes frames directly into
+   preallocated per-peer output buffers (no intermediate string, no per-send
+   copy), and an [Overflow] tells the caller to flush and retry rather than
+   silently truncate. *)
+
+exception Overflow
+
+type cursor = { cbuf : Bytes.t; mutable cpos : int }
+
+module Bytes_sink = struct
+  type t = cursor
+
+  let char c ch =
+    if c.cpos >= Bytes.length c.cbuf then raise Overflow;
+    Bytes.unsafe_set c.cbuf c.cpos ch;
+    c.cpos <- c.cpos + 1
+
+  let string c s =
+    let n = String.length s in
+    if c.cpos + n > Bytes.length c.cbuf then raise Overflow;
+    Bytes.blit_string s 0 c.cbuf c.cpos n;
+    c.cpos <- c.cpos + n
+end
+
+module XW = Writer (Bytes_sink)
+
+let encode_into buf ~pos msg =
+  let c = { cbuf = buf; cpos = pos } in
+  XW.msg c msg;
+  c.cpos
+
+let encode_traced_into buf ~pos ~tid msg =
+  let c = { cbuf = buf; cpos = pos } in
+  XW.traced c ~tid msg;
+  c.cpos
+
+let encode_grouped_into buf ~pos ~gid ~tid msg =
+  let c = { cbuf = buf; cpos = pos } in
+  XW.grouped c ~gid ~tid msg;
+  c.cpos
 
 (* --- reading ------------------------------------------------------------ *)
 
@@ -454,45 +584,23 @@ let decode s =
 
 (* --- trace suffix ----------------------------------------------------- *)
 
-(* A traced frame is a plain frame followed by a marker byte and a varint
-   trace id. The marker cannot begin a valid message (tags stop at 16), so
-   [decode_traced] is unambiguous; frames from senders that predate tracing
-   simply have no suffix and decode with trace id 0 ("untraced"). A zero
-   trace id encodes to no suffix at all, keeping traced and plain encoders
-   byte-identical in the untraced case. *)
-let trace_marker = '\xf5'
-
-let encode_traced_into buf ~tid msg =
-  encode_into buf msg;
-  if tid <> 0 then begin
-    Buffer.add_char buf trace_marker;
-    write_varint buf tid
-  end
-
-let encode_traced ~tid msg =
-  let buf = Buffer.create 64 in
-  encode_traced_into buf ~tid msg;
-  Buffer.contents buf
-
-let encode_traced_with (scratch : scratch) ~tid msg =
-  Buffer.clear scratch;
-  encode_traced_into scratch ~tid msg;
-  Buffer.contents scratch
-
-let decode_traced_at ?pos s =
-  match decode_prefix ?pos s with
+(* [~stop] bounds the frame inside a larger buffer (a packed datagram, a
+   byte-ring record) so sub-frames decode without a per-frame [String.sub]
+   copy. A parse that strays past [stop] into a neighbouring frame fails
+   the exact-landing check, exactly as trailing bytes do in a lone frame. *)
+let decode_traced_sub s ~pos ~stop =
+  match decode_prefix ~pos s with
   | Error m -> Error m
   | Ok (msg, pos) ->
-    let len = String.length s in
-    if pos = len then Ok (msg, 0)
-    else if s.[pos] = trace_marker then
+    if pos = stop then Ok (msg, 0)
+    else if pos < stop && s.[pos] = trace_marker then
       match read_varint s ~pos:(pos + 1) with
       | Error m -> Error m
       | Ok (tid, pos') ->
-        if pos' = len then Ok (msg, tid) else Error "msg: trailing bytes"
+        if pos' = stop then Ok (msg, tid) else Error "msg: trailing bytes"
     else Error "msg: trailing bytes"
 
-let decode_traced s = decode_traced_at s
+let decode_traced s = decode_traced_sub s ~pos:0 ~stop:(String.length s)
 
 (* --- group framing ----------------------------------------------------- *)
 
@@ -504,37 +612,62 @@ let decode_traced s = decode_traced_at s
    plain, traced, and grouped frames are mutually unambiguous;
    [decode_grouped] accepts ungrouped frames as group 0, so a fleet node
    interoperates with pre-fleet senders. *)
-let group_marker = '\xf6'
 
-let encode_grouped_into buf ~gid ~tid msg =
-  if gid < 0 then invalid_arg "Codec.encode_grouped: negative group id";
-  Buffer.add_char buf group_marker;
-  write_varint buf gid;
-  encode_traced_into buf ~tid msg
-
-let encode_grouped ~gid ~tid msg =
-  let buf = Buffer.create 64 in
-  encode_grouped_into buf ~gid ~tid msg;
-  Buffer.contents buf
-
-let encode_grouped_with (scratch : scratch) ~gid ~tid msg =
-  Buffer.clear scratch;
-  encode_grouped_into scratch ~gid ~tid msg;
-  Buffer.contents scratch
-
-let decode_grouped s =
-  if String.length s > 0 && s.[0] = group_marker then
-    match read_varint s ~pos:1 with
+let decode_grouped_sub s ~pos ~stop =
+  if pos < stop && s.[pos] = group_marker then
+    match read_varint s ~pos:(pos + 1) with
     | Error m -> Error m
     | Ok (gid, pos) ->
       if gid < 0 then Error "group: negative id"
       else begin
-        match decode_traced_at ~pos s with
+        match decode_traced_sub s ~pos ~stop with
         | Error m -> Error m
         | Ok (msg, tid) -> Ok (gid, msg, tid)
       end
   else begin
-    match decode_traced s with
+    match decode_traced_sub s ~pos ~stop with
     | Error m -> Error m
     | Ok (msg, tid) -> Ok (0, msg, tid)
+  end
+
+let decode_grouped s = decode_grouped_sub s ~pos:0 ~stop:(String.length s)
+
+(* --- packed datagrams --------------------------------------------------- *)
+
+(* A packed datagram carries the whole send burst one protocol step emitted
+   toward one destination: marker 0xf7, then each complete (plain, traced,
+   or grouped) frame preceded by its 16-bit little-endian byte length. The
+   flush-coalescing sender ({!Cp_transport.Outbox}) builds these so a
+   multi-message burst costs one syscall per peer per step; a lone frame is
+   sent bare, so unbatched traffic stays byte-identical to the pre-packing
+   wire format and old receivers interoperate until they see a real burst. *)
+
+type framed = { f_gid : int; f_msg : Types.msg; f_tid : int; f_bytes : int }
+
+let decode_frames s =
+  let n = String.length s in
+  if n > 0 && s.[0] = packed_marker then begin
+    let rec go pos acc =
+      if pos = n then
+        match acc with [] -> Error "packed: no frames" | _ -> Ok (List.rev acc)
+      else if pos + 2 > n then Error "packed: truncated header"
+      else begin
+        let flen = Char.code s.[pos] lor (Char.code s.[pos + 1] lsl 8) in
+        let fpos = pos + 2 in
+        if flen = 0 then Error "packed: empty frame"
+        else if fpos + flen > n then Error "packed: truncated frame"
+        else begin
+          match decode_grouped_sub s ~pos:fpos ~stop:(fpos + flen) with
+          | Error m -> Error m
+          | Ok (f_gid, f_msg, f_tid) ->
+            go (fpos + flen) ({ f_gid; f_msg; f_tid; f_bytes = flen } :: acc)
+        end
+      end
+    in
+    go 1 []
+  end
+  else begin
+    match decode_grouped s with
+    | Error m -> Error m
+    | Ok (f_gid, f_msg, f_tid) -> Ok [ { f_gid; f_msg; f_tid; f_bytes = n } ]
   end

@@ -6,6 +6,12 @@
     ([cp_netio]) does, and it pins down an actual wire format — {!Types.size_of}
     is validated against it in the test suite.
 
+    Encoding has two sinks sharing one message grammar (so their output is
+    byte-identical): a growable [Buffer] for cold paths, and a zero-copy
+    cursor into a caller-owned [Bytes.t] ({!encode_into} and friends) for the
+    wire hot path — frames serialize directly into preallocated per-peer
+    output buffers, with no intermediate [string] and no per-send copy.
+
     Decoding is total: any input either decodes or yields [Error _]; decoding
     never raises. *)
 
@@ -13,7 +19,8 @@ val encode : Types.msg -> string
 
 val decode : string -> (Types.msg, string) result
 
-val encode_into : Buffer.t -> Types.msg -> unit
+val encode_to_buffer : Buffer.t -> Types.msg -> unit
+(** Append the plain frame for a message to a buffer (no clear). *)
 
 (** {1 Scratch-buffer encoding}
 
@@ -29,6 +36,24 @@ val create_scratch : ?size:int -> unit -> scratch
 
 val encode_with : scratch -> Types.msg -> string
 (** Equal output to [encode msg] for every message. *)
+
+(** {1 Zero-copy encoding}
+
+    [encode_into buf ~pos msg] writes the plain frame for [msg] into [buf]
+    starting at [pos] and returns the position one past the last byte
+    written, raising {!Overflow} (leaving a partial write behind — the
+    caller's cursor must not advance) if the frame does not fit. The bytes
+    written are exactly [encode msg]; likewise for the traced and grouped
+    variants versus {!encode_traced} and {!encode_grouped}. *)
+
+exception Overflow
+
+val encode_into : Bytes.t -> pos:int -> Types.msg -> int
+
+val encode_traced_into : Bytes.t -> pos:int -> tid:int -> Types.msg -> int
+
+val encode_grouped_into : Bytes.t -> pos:int -> gid:int -> tid:int -> Types.msg -> int
+(** Raises [Invalid_argument] on a negative [gid]. *)
 
 (** {1 Traced frames}
 
@@ -63,6 +88,37 @@ val encode_grouped_with : scratch -> gid:int -> tid:int -> Types.msg -> string
 
 val decode_grouped : string -> (int * Types.msg * int, string) result
 (** Returns (group id, message, trace id). *)
+
+val decode_grouped_sub : string -> pos:int -> stop:int -> (int * Types.msg * int, string) result
+(** [decode_grouped] on the frame occupying [\[pos, stop)] of a larger
+    buffer, without copying it out — how the ring transport decodes records
+    in place. The frame must end exactly at [stop]. *)
+
+(** {1 Packed datagrams}
+
+    A packed datagram is a marker byte followed by one or more complete
+    (plain, traced, or grouped) frames, each preceded by its 16-bit
+    little-endian byte length. The flush-coalescing sender
+    ({!Cp_transport.Outbox}) packs the whole send burst one protocol step
+    emits toward one destination into a single datagram — one syscall per
+    peer per step. A lone frame is sent bare (no packing overhead), so
+    unbatched traffic stays byte-identical to the pre-packing wire format. *)
+
+val packed_marker : char
+(** First byte of a packed datagram (['\xf7'] — outside the message tag
+    range and distinct from the trace and group markers). *)
+
+type framed = {
+  f_gid : int;  (** group id (0 for ungrouped frames) *)
+  f_msg : Types.msg;
+  f_tid : int;  (** trace id (0 = untraced) *)
+  f_bytes : int;  (** encoded frame length, excluding packing overhead *)
+}
+
+val decode_frames : string -> (framed list, string) result
+(** Decode a datagram into its frames: a packed datagram yields one [framed]
+    per inner frame (in wire order), any other valid frame yields a
+    singleton. Frames are decoded in place — no per-frame substring copy. *)
 
 (** {1 Primitives} (exposed for tests and for app snapshot codecs) *)
 

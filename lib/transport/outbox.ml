@@ -1,0 +1,89 @@
+module Codec = Cp_proto.Codec
+
+(* Per-destination buffer in packed-datagram layout: byte 0 is the packed
+   marker, then per frame a 2-byte little-endian length and the frame
+   itself. [b_len] is the fill point; [b_frames] counts frames since the
+   last flush. *)
+type dstbuf = { b_buf : Bytes.t; mutable b_len : int; mutable b_frames : int }
+
+type t = {
+  cap : int;
+  send : dst:int -> Bytes.t -> off:int -> len:int -> unit;
+  bufs : (int, dstbuf) Hashtbl.t;
+  mutable dirty : int list; (* dsts with b_frames > 0, unordered *)
+}
+
+let create ?(capacity = 61440) ~send () =
+  let cap = min 65507 (max 512 capacity) in
+  { cap; send; bufs = Hashtbl.create 8; dirty = [] }
+
+(* [Hashtbl.find] rather than [find_opt]: the steady-state hit allocates
+   nothing (no [Some] box) — this is once per frame on the wire path. *)
+let buf_for t dst =
+  match Hashtbl.find t.bufs dst with
+  | b -> b
+  | exception Not_found ->
+    let b = { b_buf = Bytes.create t.cap; b_len = 1; b_frames = 0 } in
+    Bytes.set b.b_buf 0 Codec.packed_marker;
+    Hashtbl.replace t.bufs dst b;
+    b
+
+let flush_buf t dst b =
+  if b.b_frames = 1 then
+    (* Strip marker + length header: a lone frame goes out bare, exactly the
+       bytes an unbatched sender would have produced. *)
+    t.send ~dst b.b_buf ~off:3 ~len:(b.b_len - 3)
+  else if b.b_frames > 1 then t.send ~dst b.b_buf ~off:0 ~len:b.b_len;
+  b.b_len <- 1;
+  b.b_frames <- 0
+
+let flush t =
+  match t.dirty with
+  | [] -> ()
+  | dirty ->
+    t.dirty <- [];
+    List.iter
+      (fun dst ->
+        match Hashtbl.find_opt t.bufs dst with
+        | Some b when b.b_frames > 0 -> flush_buf t dst b
+        | _ -> ())
+      (List.sort_uniq compare dirty)
+
+(* The fast path allocates only the (amortized) dirty-list cons: the retry
+   is a tail call rather than a [try]-wrapped closure. After [flush_buf]
+   the buffer is empty ([b_frames = 0]), so a frame that still does not
+   fit fails the [when] guard and Overflow propagates to the caller; the
+   dirty entry for [dst] may linger across the flush — harmless, [flush]
+   skips clean buffers. *)
+let rec append t ~dst ~encode =
+  let b = buf_for t dst in
+  (* Reserve the 2-byte length slot, encode, then backfill the length. *)
+  let fpos = b.b_len + 2 in
+  if fpos > t.cap then begin
+    if b.b_frames = 0 then raise Codec.Overflow;
+    flush_buf t dst b;
+    append t ~dst ~encode
+  end
+  else
+    match encode b.b_buf ~pos:fpos with
+    | stop ->
+      (* cap <= 65507 < 0xffff, so the length always fits its 16-bit slot. *)
+      let flen = stop - fpos in
+      Bytes.set b.b_buf b.b_len (Char.chr (flen land 0xff));
+      Bytes.set b.b_buf (b.b_len + 1) (Char.chr ((flen lsr 8) land 0xff));
+      if b.b_frames = 0 then t.dirty <- dst :: t.dirty;
+      b.b_len <- stop;
+      b.b_frames <- b.b_frames + 1;
+      flen
+    | exception Codec.Overflow when b.b_frames > 0 ->
+      flush_buf t dst b;
+      append t ~dst ~encode
+
+let pending t =
+  List.length
+    (List.filter
+       (fun dst ->
+         match Hashtbl.find_opt t.bufs dst with
+         | Some b -> b.b_frames > 0
+         | None -> false)
+       (List.sort_uniq compare t.dirty))

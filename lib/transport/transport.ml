@@ -1,0 +1,68 @@
+module Engine = Cp_sim.Engine
+module Types = Cp_proto.Types
+
+module type S = sig
+  type t
+
+  val self : t -> int
+
+  val now : t -> float
+
+  val send : t -> dst:int -> Types.msg -> unit
+
+  val set_timer : t -> ?tag:string -> float -> int
+
+  val cancel_timer : t -> int -> unit
+
+  val rng : t -> Cp_util.Rng.t
+
+  val stable : t -> Cp_sim.Stable.t
+
+  val metrics : t -> Cp_sim.Metrics.t
+
+  val emit : t -> Cp_obs.Event.t -> unit
+
+  val tctx : t -> Cp_obs.Traceid.t
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+let ctx (Packed ((module T), h)) =
+  {
+    Engine.self = T.self h;
+    now = (fun () -> T.now h);
+    send = (fun dst msg -> T.send h ~dst msg);
+    set_timer = (fun ?tag delay -> T.set_timer h ?tag delay);
+    cancel_timer = (fun tid -> T.cancel_timer h tid);
+    rng = T.rng h;
+    stable = T.stable h;
+    metrics = T.metrics h;
+    emit = (fun ev -> T.emit h ev);
+    tctx = T.tctx h;
+  }
+
+module Sim = struct
+  type t = Types.msg Engine.ctx
+
+  let self (c : t) = c.Engine.self
+
+  let now (c : t) = c.Engine.now ()
+
+  let send (c : t) ~dst msg = c.Engine.send dst msg
+
+  let set_timer (c : t) ?tag delay = c.Engine.set_timer ?tag delay
+
+  let cancel_timer (c : t) tid = c.Engine.cancel_timer tid
+
+  let rng (c : t) = c.Engine.rng
+
+  let stable (c : t) = c.Engine.stable
+
+  let metrics (c : t) = c.Engine.metrics
+
+  let emit (c : t) ev = c.Engine.emit ev
+
+  let tctx (c : t) = c.Engine.tctx
+end
+
+let of_ctx c = Packed ((module Sim), c)

@@ -1,0 +1,62 @@
+(** The transport signature: what a runtime must provide to host a replica.
+
+    {!Cp_engine.Replica} consumes the capability record {!Cp_sim.Engine.ctx}
+    — sends, timers, stable storage, metrics, event emission, an RNG, and a
+    causal trace context. This module names that contract as a first-class
+    module signature so runtimes are interchangeable {e instances} rather
+    than hand-rolled record fabricators: the deterministic simulator
+    ({!Sim}), the UDP node ({!Cp_netio.Node.Udp_transport}), and the
+    in-process ring fabric ({!Ring}) all implement {!S}, and any future
+    transport (TCP, io_uring/eio) drops in the same way. {!ctx} closes an
+    instance back into the record the replica expects, so the engine layer
+    is untouched. *)
+
+module type S = sig
+  type t
+  (** One endpoint's handle: everything the transport needs to serve the
+      capabilities below for a single hosted protocol instance. *)
+
+  val self : t -> int
+
+  val now : t -> float
+
+  val send : t -> dst:int -> Cp_proto.Types.msg -> unit
+  (** Fire-and-forget, at-most-once: transports may drop (unreachable peer,
+      full ring) but never duplicate on their own or block the caller. *)
+
+  val set_timer : t -> ?tag:string -> float -> int
+  (** Arm a one-shot timer [delay] seconds from [now]; returns a timer id
+      unique within this endpoint. *)
+
+  val cancel_timer : t -> int -> unit
+
+  val rng : t -> Cp_util.Rng.t
+  (** Persistent across restarts of the hosted instance. *)
+
+  val stable : t -> Cp_sim.Stable.t
+  (** Persistent across restarts of the hosted instance. *)
+
+  val metrics : t -> Cp_sim.Metrics.t
+
+  val emit : t -> Cp_obs.Event.t -> unit
+  (** Record a typed protocol event, stamped with this transport's notion of
+      time and the endpoint's current trace id. *)
+
+  val tctx : t -> Cp_obs.Traceid.t
+  (** The endpoint's ambient causal trace context (see {!Cp_obs.Traceid}). *)
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+(** An endpoint paired with its transport — the value a runtime hands to
+    whoever builds the replica. *)
+
+val ctx : packed -> Cp_proto.Types.msg Cp_sim.Engine.ctx
+(** Close a transport instance into the capability record the engine layer
+    consumes. Every field is a thin forwarder; no behaviour is added. *)
+
+module Sim : S with type t = Cp_proto.Types.msg Cp_sim.Engine.ctx
+(** The deterministic simulator as a transport instance: the engine's ctx
+    record already {e is} one, so the handle is the record itself. *)
+
+val of_ctx : Cp_proto.Types.msg Cp_sim.Engine.ctx -> packed
+(** Pack a simulator ctx as a transport ([ctx (of_ctx c)] behaves as [c]). *)

@@ -25,4 +25,14 @@ let () =
   let oc = open_out path in
   output_string oc chrome;
   close_out oc;
-  Printf.printf "wrote %s (%d bytes)\n" path (String.length chrome)
+  Printf.printf "wrote %s (%d bytes)\n" path (String.length chrome);
+  (* The transport-conformance trace: the simulator's canonical dump of the
+     seeded schedule that the ring and UDP transports must reproduce byte
+     for byte (test_transport.ml). *)
+  let dump = Cp_harness.Conformance.run_sim () in
+  let path = Filename.concat "test" Cp_harness.Conformance.golden_file in
+  let oc = open_out path in
+  output_string oc dump;
+  close_out oc;
+  Printf.printf "wrote %s (%d lines)\n" path
+    (List.length (String.split_on_char '\n' dump) - 1)

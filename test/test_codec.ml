@@ -279,6 +279,108 @@ let test_size_model_sane () =
         (model >= real / 3 && model <= 16 + (12 * real)))
     sample_msgs
 
+(* --- zero-copy encoding ------------------------------------------------ *)
+
+(* The cursor sink must produce the exact bytes of the Buffer sink, at any
+   offset, for plain, traced, and grouped frames alike. *)
+let test_encode_into_matches () =
+  List.iter
+    (fun msg ->
+      List.iter
+        (fun pos ->
+          let check_variant name expected into =
+            let buf = Bytes.make (pos + String.length expected + 5) '\xee' in
+            let stop = into buf ~pos in
+            Alcotest.(check int) (name ^ ": end position") (pos + String.length expected) stop;
+            Alcotest.(check string) (name ^ ": bytes") expected (Bytes.sub_string buf pos (stop - pos));
+            (* Nothing before [pos] or after [stop] was touched. *)
+            Alcotest.(check bool) (name ^ ": no out-of-range writes") true
+              (Bytes.sub_string buf 0 pos = String.make pos '\xee'
+              && Bytes.sub_string buf stop (Bytes.length buf - stop)
+                 = String.make (Bytes.length buf - stop) '\xee')
+          in
+          check_variant "plain" (Codec.encode msg) (fun buf ~pos -> Codec.encode_into buf ~pos msg);
+          check_variant "traced"
+            (Codec.encode_traced ~tid:7777 msg)
+            (fun buf ~pos -> Codec.encode_traced_into buf ~pos ~tid:7777 msg);
+          check_variant "grouped"
+            (Codec.encode_grouped ~gid:12 ~tid:3 msg)
+            (fun buf ~pos -> Codec.encode_grouped_into buf ~pos ~gid:12 ~tid:3 msg))
+        [ 0; 1; 7 ])
+    sample_msgs
+
+let test_encode_into_exact_fit_and_overflow () =
+  List.iter
+    (fun msg ->
+      let expected = Codec.encode_traced ~tid:42 msg in
+      let n = String.length expected in
+      let pos = 3 in
+      (* Exact fit succeeds... *)
+      let buf = Bytes.create (pos + n) in
+      Alcotest.(check int) "exact fit" (pos + n)
+        (Codec.encode_traced_into buf ~pos ~tid:42 msg);
+      Alcotest.(check string) "exact-fit bytes" expected (Bytes.sub_string buf pos n);
+      (* ...one byte less raises, for every shortfall down to an empty
+         window (the write that would land out of bounds must never
+         happen). *)
+      List.iter
+        (fun short ->
+          let small = Bytes.create (pos + n - short) in
+          match Codec.encode_traced_into small ~pos ~tid:42 msg with
+          | (_ : int) -> Alcotest.failf "short by %d: expected Overflow" short
+          | exception Codec.Overflow -> ())
+        [ 1; (n / 2) + 1; n ])
+    sample_msgs
+
+let test_decode_frames_packed () =
+  let msgs = [ (0, 5, List.nth sample_msgs 0); (3, 0, List.nth sample_msgs 4); (0, 0, List.nth sample_msgs 8) ] in
+  let frame (gid, tid, msg) =
+    if gid = 0 then Codec.encode_traced ~tid msg else Codec.encode_grouped ~gid ~tid msg
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_char b Codec.packed_marker;
+  List.iter
+    (fun m ->
+      let f = frame m in
+      Buffer.add_char b (Char.chr (String.length f land 0xff));
+      Buffer.add_char b (Char.chr (String.length f lsr 8));
+      Buffer.add_string b f)
+    msgs;
+  (match Codec.decode_frames (Buffer.contents b) with
+  | Error e -> Alcotest.failf "packed decode: %s" e
+  | Ok frames ->
+    Alcotest.(check int) "frame count" (List.length msgs) (List.length frames);
+    List.iter2
+      (fun (gid, tid, msg) f ->
+        Alcotest.(check int) "gid" gid f.Codec.f_gid;
+        Alcotest.(check int) "tid" tid f.Codec.f_tid;
+        Alcotest.(check int) "frame bytes" (String.length (frame (gid, tid, msg))) f.Codec.f_bytes;
+        Alcotest.(check bool) "msg" true (msg_equal msg f.Codec.f_msg))
+      msgs frames);
+  (* A non-packed datagram decodes as a singleton — of itself. *)
+  let lone = List.nth sample_msgs 2 in
+  (match Codec.decode_frames (Codec.encode_traced ~tid:9 lone) with
+  | Ok [ f ] ->
+    Alcotest.(check int) "lone tid" 9 f.Codec.f_tid;
+    Alcotest.(check bool) "lone msg" true (msg_equal lone f.Codec.f_msg)
+  | Ok l -> Alcotest.failf "lone frame: got %d frames" (List.length l)
+  | Error e -> Alcotest.failf "lone frame: %s" e)
+
+let test_decode_frames_rejects_malformed () =
+  let reject name s =
+    match Codec.decode_frames s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+  in
+  let m = String.make 1 Codec.packed_marker in
+  reject "empty packed datagram" m;
+  reject "truncated length header" (m ^ "\x05");
+  reject "zero-length frame" (m ^ "\x00\x00");
+  let f = Codec.encode (List.nth sample_msgs 0) in
+  let hdr n = Printf.sprintf "%c%c" (Char.chr (n land 0xff)) (Char.chr (n lsr 8)) in
+  reject "frame shorter than its header" (m ^ hdr (String.length f + 1) ^ f);
+  reject "trailing garbage after last frame" (m ^ hdr (String.length f) ^ f ^ "\x01")
+
 let arb_msg =
   let open QCheck.Gen in
   let ballot = map2 (fun r l -> Ballot.make ~round:r ~leader:l) (int_range 0 50) (int_range 0 9) in
@@ -311,6 +413,15 @@ let prop_roundtrip_generated =
   QCheck.Test.make ~name:"codec roundtrips generated messages" ~count:500 arb_msg
     roundtrip
 
+let prop_encode_into_matches_encode =
+  QCheck.Test.make ~name:"encode_into matches encode at any offset" ~count:300
+    (QCheck.pair arb_msg (QCheck.int_range 0 32))
+    (fun (msg, pos) ->
+      let expected = Codec.encode msg in
+      let buf = Bytes.create (pos + String.length expected) in
+      Codec.encode_into buf ~pos msg = pos + String.length expected
+      && Bytes.sub_string buf pos (String.length expected) = expected)
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let suite =
@@ -334,5 +445,11 @@ let suite =
     Alcotest.test_case "grouped accepts plain frames" `Quick test_grouped_accepts_plain;
     Alcotest.test_case "grouped rejects bad frames" `Quick test_grouped_rejects_bad;
     Alcotest.test_case "size model sane" `Quick test_size_model_sane;
+    Alcotest.test_case "encode_into matches buffer encoding" `Quick test_encode_into_matches;
+    Alcotest.test_case "encode_into exact fit and overflow" `Quick
+      test_encode_into_exact_fit_and_overflow;
+    Alcotest.test_case "decode_frames unpacks packed datagrams" `Quick test_decode_frames_packed;
+    Alcotest.test_case "decode_frames rejects malformed packing" `Quick
+      test_decode_frames_rejects_malformed;
   ]
-  @ qsuite [ prop_roundtrip_generated; prop_varint_roundtrip ]
+  @ qsuite [ prop_roundtrip_generated; prop_varint_roundtrip; prop_encode_into_matches_encode ]

@@ -32,4 +32,5 @@ let () =
       ("fleet", Test_fleet.suite);
       ("exec", Test_exec.suite);
       ("golden", Test_golden.suite);
+      ("transport", Test_transport.suite);
     ]
