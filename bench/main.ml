@@ -1030,6 +1030,138 @@ let write_wire_snapshot () =
     (if ok then "PASS" else "FAIL");
   ok
 
+(* ------------------------------------------------------------------ *)
+(* E18: durable storage — group commit, recovery, amplification        *)
+(* ------------------------------------------------------------------ *)
+
+(* The WAL's cost model (DESIGN.md section 9): fsync is the unit of cost on
+   the persistence path, and the group-commit rule (one flush per effect
+   batch) must amortize it by the pipeline depth. Measured directly against
+   the same record stream flushed sync-per-record. Also measured: cold
+   recovery time for the segment replay, bytes amplification of the
+   append-only format (lifetime appends vs live bytes, with compaction on),
+   and a torn-tail crash (byte-granular, via the Faulty io) recovering to a
+   clean prefix without an exception. *)
+let write_storage_snapshot () =
+  let module Storage = Cp_storage.Storage in
+  let module Wal = Cp_storage.Wal in
+  let module Stable = Cp_sim.Stable in
+  let base =
+    let p = Filename.temp_file "cp_bench_storage" "" in
+    Unix.unlink p;
+    Unix.mkdir p 0o755;
+    p
+  in
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Unix.unlink p
+  in
+  Fun.protect ~finally:(fun () -> try rm base with _ -> ()) @@ fun () ->
+  let depth = 8 in
+  let batches = if quick then 200 else 1000 in
+  let ops = depth * batches in
+  let payload i = Printf.sprintf "%08d:%s" i (String.make 48 'v') in
+  (* Mode A: sync-per-record — what a WAL without group commit would do. *)
+  let per_record_dir = Filename.concat base "per_record" in
+  let s = Wal.store per_record_dir in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to ops - 1 do
+    Stable.put s (Printf.sprintf "log.%d" (i mod 256)) (payload i);
+    Stable.flush s
+  done;
+  let per_record_s = Unix.gettimeofday () -. t0 in
+  let a = Stable.stats s in
+  Stable.close s;
+  (* Mode B: group commit — the interpreter's one flush per effect batch. *)
+  let group_dir = Filename.concat base "group" in
+  let s = Wal.store group_dir in
+  let t0 = Unix.gettimeofday () in
+  for b = 0 to batches - 1 do
+    for j = 0 to depth - 1 do
+      let i = (b * depth) + j in
+      Stable.put s (Printf.sprintf "log.%d" (i mod 256)) (payload i)
+    done;
+    Stable.flush s
+  done;
+  let group_s = Unix.gettimeofday () -. t0 in
+  let g = Stable.stats s in
+  let live_bytes = g.Storage.bytes_used in
+  Stable.close s;
+  let a_per_op = float_of_int a.Storage.fsyncs /. float_of_int ops in
+  let g_per_op = float_of_int g.Storage.fsyncs /. float_of_int ops in
+  let fsync_ratio = a_per_op /. Float.max g_per_op 1e-9 in
+  let group_commit_ok = fsync_ratio >= 4. in
+  (* Bytes amplification: lifetime appended bytes over live bytes. The 256
+     hot keys are overwritten ~ops/256 times each, so without compaction
+     this would be ~ops/256; the checkpoint bound keeps it small. *)
+  let disk_bytes dir =
+    Sys.readdir dir |> Array.to_list
+    |> List.map (fun f -> (Unix.stat (Filename.concat dir f)).Unix.st_size)
+    |> List.fold_left ( + ) 0
+  in
+  let amplification = float_of_int g.Storage.bytes_appended /. float_of_int live_bytes in
+  let disk_amplification = float_of_int (disk_bytes group_dir) /. float_of_int live_bytes in
+  (* Cold recovery: reopen the group-commit directory, real segment replay. *)
+  let s = Wal.store group_dir in
+  let r = Stable.stats s in
+  let recovered = List.length (Stable.keys s) in
+  let recovery_ms = r.Storage.recovery_ms in
+  Stable.close s;
+  let recovery_ok = recovered = 256 in
+  (* Torn tail: cut the power mid-stream at a byte offset (not a record
+     boundary) and require recovery to a clean prefix, no exception. *)
+  let torn_dir = Filename.concat base "torn" in
+  let cut = (g.Storage.bytes_appended * 3 / 5) + 7 in
+  let plan = Cp_storage.Faulty.plan ~crash_after_bytes:cut () in
+  let s =
+    Storage.Packed ((module Wal.View), Wal.open_dir ~io:(Cp_storage.Faulty.io plan) torn_dir)
+  in
+  (try
+     for i = 0 to ops - 1 do
+       Stable.put s (Printf.sprintf "log.%d" (i mod 256)) (payload i);
+       if i mod depth = depth - 1 then Stable.flush s
+     done
+   with Cp_storage.Faulty.Crash -> ());
+  let torn_ok =
+    match Wal.store torn_dir with
+    | s ->
+      let n = List.length (Stable.keys s) in
+      Stable.close s;
+      n > 0 && n <= 256
+    | exception _ -> false
+  in
+  let ok = group_commit_ok && recovery_ok && torn_ok in
+  let oc = open_out "BENCH_storage.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"ops\": %d, \"pipeline_depth\": %d, \"payload_bytes\": %d,\n" ops
+    depth (String.length (payload 0));
+  Printf.fprintf oc
+    "  \"sync_per_record\": {\"fsyncs\": %d, \"fsyncs_per_op\": %.4f, \"elapsed_s\": %.3f},\n"
+    a.Storage.fsyncs a_per_op per_record_s;
+  Printf.fprintf oc
+    "  \"group_commit\": {\"fsyncs\": %d, \"fsyncs_per_op\": %.4f, \"elapsed_s\": %.3f},\n"
+    g.Storage.fsyncs g_per_op group_s;
+  Printf.fprintf oc "  \"fsync_ratio\": %.2f,\n" fsync_ratio;
+  Printf.fprintf oc "  \"group_commit_gate_pass\": %b,\n" group_commit_ok;
+  Printf.fprintf oc
+    "  \"recovery\": {\"ms\": %.3f, \"records\": %d, \"segments\": %d, \"pass\": %b},\n"
+    recovery_ms recovered r.Storage.segments recovery_ok;
+  Printf.fprintf oc
+    "  \"amplification\": {\"appended_over_live\": %.2f, \"disk_over_live\": %.2f},\n"
+    amplification disk_amplification;
+  Printf.fprintf oc "  \"torn_tail_clean\": %b,\n" torn_ok;
+  Printf.fprintf oc "  \"pass\": %b\n}\n" ok;
+  close_out oc;
+  Printf.printf
+    "wrote BENCH_storage.json (fsyncs/op %.3f -> %.3f, %.1fx fewer; recovery %.1f ms for \
+     %d records; disk amplification %.2fx) -- %s\n"
+    a_per_op g_per_op fsync_ratio recovery_ms recovered disk_amplification
+    (if ok then "PASS" else "FAIL");
+  ok
+
 let () =
   Printf.printf "Cheap Paxos evaluation%s\n" (if quick then " (quick mode)" else "");
   let outcomes = Cp_harness.Experiments.run_all ~quick () in
@@ -1042,10 +1174,11 @@ let () =
   let fleet_ok = write_fleet_snapshot () in
   let exec_ok = write_exec_snapshot () in
   let wire_ok = write_wire_snapshot () in
+  let storage_ok = write_storage_snapshot () in
   run_microbenches ();
   if
     Cp_harness.Outcome.all_pass outcomes && batch_ok && reads_ok && trace_ok
-    && fleet_ok && exec_ok && wire_ok
+    && fleet_ok && exec_ok && wire_ok && storage_ok
   then
     print_endline "\nALL CLAIMS REPRODUCED"
   else begin

@@ -69,18 +69,68 @@ let experiments_cmd =
           Stdlib.exit (run_experiments quick (List.map String.lowercase_ascii only) csv))
       $ quick_flag $ only_arg $ csv_arg)
 
+(* --storage spec: "mem" (default) or "wal:DIR" — a durable group-commit
+   write-ahead log rooted at DIR, one subdirectory per machine (demo) or
+   per hosted group (node). *)
+let storage_conv =
+  let parse s =
+    if s = "mem" then Ok `Mem
+    else if String.length s > 4 && String.sub s 0 4 = "wal:" then
+      Ok (`Wal (String.sub s 4 (String.length s - 4)))
+    else Error (`Msg (Printf.sprintf "bad storage spec %S (expected mem or wal:DIR)" s))
+  in
+  let print ppf = function
+    | `Mem -> Format.pp_print_string ppf "mem"
+    | `Wal d -> Format.fprintf ppf "wal:%s" d
+  in
+  Arg.conv (parse, print)
+
+let storage_arg ~unit_ =
+  Arg.(
+    value
+    & opt storage_conv `Mem
+    & info [ "storage" ] ~docv:"SPEC"
+        ~doc:
+          (Printf.sprintf
+             "Stable-storage backend: $(b,mem) (default, lost on exit) or \
+              $(b,wal:DIR) — a group-commit segmented write-ahead log rooted at \
+              $(i,DIR) (one subdirectory per %s), replayed on restart."
+             unit_))
+
+(* Per-machine WAL factory for the simulated runtimes, or None for the
+   in-memory default. *)
+let sim_storage_factory = function
+  | `Mem -> None
+  | `Wal dir ->
+    Some (fun id -> Cp_storage.Wal.store (Filename.concat dir (Printf.sprintf "n%d" id)))
+
+(* One summary line so a demo run over a WAL shows the durable cost. *)
+let print_storage_summary spec engine ids =
+  match spec with
+  | `Mem -> ()
+  | `Wal dir ->
+    let stats = List.map (fun id -> Cp_sim.Stable.stats (Cp_sim.Engine.stable engine id)) ids in
+    let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+    Printf.printf
+      "storage: wal at %s — fsyncs=%d appended=%d bytes live=%d bytes segments=%d\n" dir
+      (sum (fun s -> s.Cp_storage.Storage.fsyncs))
+      (sum (fun s -> s.Cp_storage.Storage.bytes_appended))
+      (sum (fun s -> s.Cp_storage.Storage.bytes_used))
+      (sum (fun s -> s.Cp_storage.Storage.segments))
+
 (* Multi-group variant of the demo: one machine set hosting [groups]
    key-sharded Cheap Paxos groups behind a {!Cp_fleet.Group_mux}, clients
    routed per-command by key. Prints the per-group leaders, shard spread,
    and the per-group frame counts on the shared auxiliary. *)
-let run_fleet_demo seed trace trace_jsonl trace_chrome params ?conflict_keys read_ratio
-    groups =
+let run_fleet_demo seed trace trace_jsonl trace_chrome params ?conflict_keys ~storage
+    read_ratio groups =
   let module Fleet = Cp_fleet.Fleet in
   let module Engine = Cp_sim.Engine in
   let initial = Cheap_paxos.Cheap.initial_config ~f:1 in
   let fleet =
-    Fleet.create ~seed ~params ~groups ?conflict_keys ~policy:Cheap_paxos.Cheap.policy
-      ~initial ~app:(module Cp_smr.Kv) ()
+    Fleet.create ~seed ~params ~groups ?conflict_keys
+      ?storage:(sim_storage_factory storage) ~policy:Cheap_paxos.Cheap.policy ~initial
+      ~app:(module Cp_smr.Kv) ()
   in
   if trace then
     Engine.on_event (Fleet.engine fleet) (fun r ->
@@ -123,10 +173,11 @@ let run_fleet_demo seed trace trace_jsonl trace_chrome params ?conflict_keys rea
   in
   Option.iter (fun p -> dump p Cp_obs.Trace.to_jsonl "jsonl") trace_jsonl;
   Option.iter (fun p -> dump p Cp_obs.Timeline.to_chrome "Chrome") trace_chrome;
+  print_storage_summary storage (Fleet.engine fleet) (Fleet.mains fleet @ Fleet.auxes fleet);
   if finished then 0 else 1
 
 let run_demo seed trace trace_jsonl trace_chrome batch pipeline linger read_ratio lease
-    gap_threshold groups domains exec_par =
+    gap_threshold groups domains exec_par storage =
   let module Cluster = Cp_runtime.Cluster in
   let module Faults = Cp_runtime.Faults in
   let initial = Cheap_paxos.Cheap.initial_config ~f:1 in
@@ -145,12 +196,12 @@ let run_demo seed trace trace_jsonl trace_chrome batch pipeline linger read_rati
      applier using the KV app's real key declarations. *)
   let conflict_keys = if exec_par then Some Cp_smr.Kv.conflict_keys else None in
   if groups > 1 then
-    run_fleet_demo seed trace trace_jsonl trace_chrome params ?conflict_keys read_ratio
-      groups
+    run_fleet_demo seed trace trace_jsonl trace_chrome params ?conflict_keys ~storage
+      read_ratio groups
   else
   let cluster =
-    Cluster.create ~seed ~params ?conflict_keys ~policy:Cheap_paxos.Cheap.policy ~initial
-      ~app:(module Cp_smr.Kv) ()
+    Cluster.create ~seed ~params ?conflict_keys ?storage:(sim_storage_factory storage)
+      ~policy:Cheap_paxos.Cheap.policy ~initial ~app:(module Cp_smr.Kv) ()
   in
   if trace then
     Cp_sim.Engine.on_event (Cluster.engine cluster) (fun r ->
@@ -203,6 +254,8 @@ let run_demo seed trace trace_jsonl trace_chrome batch pipeline linger read_rati
   (match Cp_runtime.Inspect.check_safety cluster with
   | Ok () -> print_endline "safety: OK"
   | Error e -> Printf.printf "safety: VIOLATION: %s\n" e);
+  print_storage_summary storage (Cluster.engine cluster)
+    (Cluster.mains cluster @ Cluster.auxes cluster);
   0
 
 let demo_cmd =
@@ -303,10 +356,11 @@ let demo_cmd =
   in
   Cmd.v (Cmd.info "demo" ~doc)
     Term.(
-      const (fun s t j c b p l r le g gr d ep ->
-          Stdlib.exit (run_demo s t j c b p l r le g gr d ep))
+      const (fun s t j c b p l r le g gr d ep st ->
+          Stdlib.exit (run_demo s t j c b p l r le g gr d ep st))
       $ seed $ trace $ trace_jsonl $ trace_chrome $ batch $ pipeline $ linger
-      $ read_ratio $ lease $ gap_threshold $ groups $ domains $ exec_par)
+      $ read_ratio $ lease $ gap_threshold $ groups $ domains $ exec_par
+      $ storage_arg ~unit_:"machine")
 
 (* ------------------------------------------------------------------ *)
 (* Real multi-process cluster: `node` runs one machine over UDP,      *)
@@ -324,7 +378,7 @@ let base_port_arg =
 let f_arg =
   Arg.(value & opt int 1 & info [ "f" ] ~docv:"F" ~doc:"Fault tolerance (f+1 mains, f auxes).")
 
-let run_node id f base_port admin_port exec_domains =
+let run_node id f base_port admin_port exec_domains storage =
   let initial = Cheap_paxos.Cheap.initial_config ~f in
   let universe_mains = List.init (f + 1) Fun.id in
   let universe_auxes = List.init f (fun i -> f + 1 + i) in
@@ -338,8 +392,22 @@ let run_node id f base_port admin_port exec_domains =
   in
   let params =
     { Cp_engine.Params.default with Cp_engine.Params.exec_domains } in
+  (* A real process keeps its own WAL root per machine, one subdirectory per
+     hosted group (the node's storage factory is keyed by group id): a node
+     restarted on the same --storage wal:DIR replays its promises, votes,
+     and snapshot instead of rejoining amnesiac. *)
+  let node_storage =
+    match storage with
+    | `Mem -> None
+    | `Wal dir ->
+      Some
+        (fun gid ->
+          Cp_storage.Wal.store
+            (Filename.concat dir (Filename.concat (Printf.sprintf "m%d" id)
+                                    (Printf.sprintf "g%d" gid))))
+  in
   let node =
-    Cp_netio.Node.create ?admin_port ~exec_domains
+    Cp_netio.Node.create ?admin_port ?storage:node_storage ~exec_domains
       ~port_of:(fun i -> base_port + i)
       ~id_of_port:(fun p -> p - base_port)
       ~id ~seed:(Unix.getpid ())
@@ -372,6 +440,10 @@ let run_node id f base_port admin_port exec_domains =
     (if exec_domains > 1 then
        Printf.sprintf ", parallel dispatch+apply on %d domains" exec_domains
      else "");
+  (match storage with
+  | `Mem -> ()
+  | `Wal dir ->
+    Printf.printf "durable storage: wal at %s/m%d (replayed on restart)\n%!" dir id);
   let rec forever () =
     Cp_netio.Node.run_for node 3600.;
     forever ()
@@ -404,8 +476,9 @@ let node_cmd =
   in
   Cmd.v (Cmd.info "node" ~doc)
     Term.(
-      const (fun id f bp ap ed -> run_node id f bp ap ed)
-      $ id $ f_arg $ base_port_arg $ admin_port $ exec_domains)
+      const (fun id f bp ap ed st -> run_node id f bp ap ed st)
+      $ id $ f_arg $ base_port_arg $ admin_port $ exec_domains
+      $ storage_arg ~unit_:"hosted group")
 
 let run_client_op f base_port op =
   let universe_mains = List.init (f + 1) Fun.id in

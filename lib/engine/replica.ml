@@ -29,12 +29,17 @@ type t = {
 
 let log_key i = "log." ^ string_of_int i
 
+(* Persistence goes through the typed stable-record codecs, not [Marshal]:
+   the store sees only bytes with a defined, versioned layout. *)
 let interpret_one t (eff : Effect.t) =
   match eff with
   | Effect.Send (dst, msg) -> t.ctx.Engine.send dst msg
-  | Effect.Persist_acceptor image -> Stable.put t.ctx.Engine.stable "acceptor" image
-  | Effect.Persist_log (i, entry) -> Stable.put t.ctx.Engine.stable (log_key i) entry
-  | Effect.Persist_snapshot snap -> Stable.put t.ctx.Engine.stable "snapshot" snap
+  | Effect.Persist_acceptor image ->
+    Stable.put t.ctx.Engine.stable "acceptor" (Codec.encode_acceptor_image image)
+  | Effect.Persist_log (i, entry) ->
+    Stable.put t.ctx.Engine.stable (log_key i) (Codec.encode_stable_entry entry)
+  | Effect.Persist_snapshot snap ->
+    Stable.put t.ctx.Engine.stable "snapshot" (Codec.encode_stable_snapshot snap)
   | Effect.Drop_log i -> Stable.remove t.ctx.Engine.stable (log_key i)
   | Effect.Set_timer (tag, delay) -> ignore (t.ctx.Engine.set_timer ~tag delay)
   | Effect.Emit ev -> t.ctx.Engine.emit ev
@@ -45,16 +50,42 @@ let interpret_one t (eff : Effect.t) =
   | Effect.Span_executed { instance; at } -> Obs.Span.executed t.spans ~instance ~at
   | Effect.Span_reset -> Obs.Span.reset t.spans
 
+let is_persist (eff : Effect.t) =
+  match eff with
+  | Effect.Persist_acceptor _ | Effect.Persist_log _ | Effect.Persist_snapshot _
+  | Effect.Drop_log _ ->
+    true
+  | _ -> false
+
+(* Group commit: execute the batch, then make its storage mutations durable
+   with ONE flush. Acks whose persist rides the same batch reach the wire
+   through the transport outbox, which flushes after the handler returns —
+   after this storage flush — so the promise/vote is durable before any
+   peer can observe its ack, and a pipeline of depth d amortizes the fsync
+   d ways instead of paying one per record. *)
 let interpret t effects =
   if Obs.Prof.enabled t.prof then
     List.iter
       (fun eff -> Obs.Prof.time t.prof (Effect.stage eff) (fun () -> interpret_one t eff))
       effects
-  else List.iter (interpret_one t) effects
+  else List.iter (interpret_one t) effects;
+  if List.exists is_persist effects then
+    if Obs.Prof.enabled t.prof then
+      Obs.Prof.time t.prof "exec_persist" (fun () -> Stable.flush t.ctx.Engine.stable)
+    else Stable.flush t.ctx.Engine.stable
 
 (* ------------------------------------------------------------------ *)
 (* Construction: read the recovery image, build the core               *)
 (* ------------------------------------------------------------------ *)
+
+(* Recovery decodes through the same Result-returning codecs: a record that
+   fails to parse (foreign bytes, an unversioned legacy blob) is treated as
+   absent rather than crashing the replica — the protocol then behaves as
+   if that write never became durable, which is the safe direction. *)
+let get_decoded stable key decode =
+  match Stable.get stable key with
+  | None -> None
+  | Some bytes -> ( match decode bytes with Ok v -> Some v | Error _ -> None)
 
 (* Every persisted chosen entry, in no particular order; the core filters
    and sorts against its post-snapshot log base. *)
@@ -70,7 +101,9 @@ let scan_log stable =
              int_of_string_opt
                (String.sub k (String.length prefix) (String.length k - String.length prefix))
            with
-           | Some i -> Stable.get stable k |> Option.map (fun (e : Types.entry) -> (i, e))
+           | Some i ->
+             get_decoded stable k Codec.decode_stable_entry
+             |> Option.map (fun (e : Types.entry) -> (i, e))
            | None -> None
          else None)
 
@@ -79,8 +112,10 @@ let create ?exec ctx ~role ~policy ~params ~initial ~universe_mains ~universe_au
   let stable = ctx.Engine.stable in
   let recovery =
     {
-      State.r_acceptor = Stable.get stable "acceptor";
-      r_snapshot = (if role = Main then Stable.get stable "snapshot" else None);
+      State.r_acceptor = get_decoded stable "acceptor" Codec.decode_acceptor_image;
+      r_snapshot =
+        (if role = Main then get_decoded stable "snapshot" Codec.decode_stable_snapshot
+         else None);
       r_log = (if role = Main then scan_log stable else []);
       r_had_state = Stable.mem stable "acceptor";
     }
@@ -174,3 +209,5 @@ let acceptor_vote_count t = Acceptor.vote_count t.core.State.acceptor
 let acceptor_floor t = Acceptor.compacted_upto t.core.State.acceptor
 
 let acceptor_promised t = Acceptor.promised t.core.State.acceptor
+
+let fingerprint t = State.fingerprint t.core

@@ -79,3 +79,9 @@ val acceptor_vote_count : t -> int
 val acceptor_floor : t -> int
 
 val acceptor_promised : t -> Ballot.t
+
+val fingerprint : t -> string
+(** Canonical digest of the replica's full protocol state
+    ({!State.fingerprint}) — equal iff two replicas are in the same state.
+    The storage conformance suite uses it to check that recovery from
+    different backends reconstructs identical replicas. *)

@@ -45,7 +45,7 @@ let machine_ids (initial : Config.t) ~spare_mains =
 
 let create ?(seed = 1) ?(net = Cp_sim.Netmodel.lan) ?(params = Cp_engine.Params.default)
     ?proc_time ?(spare_mains = 0) ?(obs = true) ?router ?wheel_tick ?conflict_keys
-    ~groups ~policy ~initial ~app () =
+    ?storage ~groups ~policy ~initial ~app () =
   if groups <= 0 then invalid_arg "Fleet.create: need at least one group";
   let router_ =
     match router with
@@ -62,7 +62,7 @@ let create ?(seed = 1) ?(net = Cp_sim.Netmodel.lan) ?(params = Cp_engine.Params.
     | _ -> false
   in
   let eng =
-    Engine.create ~seed ~net ?proc_time ~obs ~fresh_trace
+    Engine.create ~seed ~net ?proc_time ~obs ~fresh_trace ?storage
       ~size_of:(fun (gid, msg) -> group_overhead gid + Types.size_of msg)
       ~classify:(fun (_, msg) -> Types.classify msg)
       ()

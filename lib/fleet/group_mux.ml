@@ -98,6 +98,9 @@ let make_group_ctx t ~gid =
         wid);
     cancel_timer = (fun wid -> Wheel.cancel t.wheel wid);
     rng = Rng.split outer.Engine.rng;
+    (* One machine disk, one namespace per hosted group. The view's write
+       counters live in the backend keyed by resolved prefix, so re-deriving
+       "g<gid>" (e.g. on a rebuild) keeps the group's storage accounting. *)
     stable = Stable.sub outer.Engine.stable ~name:("g" ^ string_of_int gid);
     metrics = Metrics.create ();
     emit = outer.Engine.emit;

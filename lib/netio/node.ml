@@ -57,6 +57,8 @@ type t = {
   outbox : Outbox.t; (* guarded by [lock]; flush-coalescing send buffers *)
   admin_sock : Unix.file_descr option; (* TCP listener for /metrics etc. *)
   exec : exec_state option; (* None = the original single-lock runtime *)
+  storage : int -> Cp_sim.Stable.t; (* per-group store factory, keyed by gid *)
+  stores : (int, Cp_sim.Stable.t) Hashtbl.t; (* guarded by [lock] *)
 }
 
 let now t = Unix.gettimeofday () -. t.start
@@ -439,22 +441,45 @@ let recv_loop t =
    store and every group store (so dashboard names like [msgs_sent] keep
    meaning the node total); per-group observation series are prefixed
    [g<gid>_]; the pool contributes per-domain utilization counters. *)
+(* Storage counters for one group's store, namespaced like the group's
+   other series: bare names for the primary group, [g<gid>_] otherwise. *)
+let storage_counters ~gid store =
+  List.map
+    (fun (n, v) -> ((if gid = 0 then n else Printf.sprintf "g%d_%s" gid n), v))
+    (Cp_sim.Stable.counter_list store)
+
 let merged_snapshot t =
   match t.exec with
-  | None -> with_lock t (fun () -> Cp_sim.Metrics.snapshot t.metrics)
+  | None ->
+    with_lock t (fun () ->
+        let snap = Cp_sim.Metrics.snapshot t.metrics in
+        let storage =
+          Hashtbl.fold (fun gid s acc -> storage_counters ~gid s @ acc) t.stores []
+        in
+        {
+          snap with
+          Cp_sim.Metrics.counters =
+            List.sort compare (snap.Cp_sim.Metrics.counters @ storage);
+        })
   | Some ex ->
     let node_snap = with_lock t (fun () -> Cp_sim.Metrics.snapshot t.metrics) in
     let gs =
-      with_lock t (fun () -> Hashtbl.fold (fun gid g acc -> (gid, g) :: acc) t.groups [])
-      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      with_lock t (fun () ->
+          Hashtbl.fold
+            (fun gid g acc -> (gid, g, Hashtbl.find_opt t.stores gid) :: acc)
+            t.groups [])
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
     in
     let gsnaps =
       List.map
-        (fun (gid, g) ->
+        (fun (gid, g, store) ->
           Mutex.lock g.g_lock;
           let s = Cp_sim.Metrics.snapshot g.g_metrics in
+          (* Stats under the group lock: handlers mutate the store only
+             while holding it. *)
+          let st = Option.map (storage_counters ~gid) store in
           Mutex.unlock g.g_lock;
-          (gid, s))
+          (gid, s, Option.value st ~default:[]))
         gs
     in
     let tbl = Hashtbl.create 64 in
@@ -463,7 +488,11 @@ let merged_snapshot t =
         (v + Option.value (Hashtbl.find_opt tbl name) ~default:0)
     in
     List.iter add node_snap.Cp_sim.Metrics.counters;
-    List.iter (fun (_, s) -> List.iter add s.Cp_sim.Metrics.counters) gsnaps;
+    List.iter
+      (fun (_, s, st) ->
+        List.iter add s.Cp_sim.Metrics.counters;
+        List.iter add st)
+      gsnaps;
     let st = Cp_exec.Pool.stats ex.pool in
     add ("exec.domains", ex.workers);
     for i = 0 to min ex.workers (Array.length st.Cp_exec.Pool.busy_ns) - 1 do
@@ -478,7 +507,7 @@ let merged_snapshot t =
     let summaries =
       node_snap.Cp_sim.Metrics.summaries
       @ List.concat_map
-          (fun (gid, s) ->
+          (fun (gid, s, _) ->
             List.map
               (fun (n, sum) -> (Printf.sprintf "g%d_%s" gid n, sum))
               s.Cp_sim.Metrics.summaries)
@@ -629,13 +658,23 @@ end
    instance above — the engine layer never sees the difference between the
    simulator's record and this one. *)
 let make_ctx t ~gid ~(g : group) =
+  (* Reuse the group's store across re-derivation (callers of make_ctx hold
+     the node lock); a WAL handle in particular must be opened once. *)
+  let h_stable =
+    match Hashtbl.find_opt t.stores gid with
+    | Some s -> s
+    | None ->
+      let s = t.storage gid in
+      Hashtbl.replace t.stores gid s;
+      s
+  in
   let h =
     {
       h_node = t;
       h_gid = gid;
       h_group = g;
       h_rng = Cp_util.Rng.create ((t.seed * 1009) + t.id + (gid * 7919));
-      h_stable = Cp_sim.Stable.create ();
+      h_stable;
     }
   in
   Transport.ctx (Transport.Packed ((module Udp_transport), h))
@@ -696,8 +735,9 @@ let with_group t ~gid f =
         f)
 
 let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity)
-    ?admin_port ?(wheel_tick = 1e-3) ?(exec_domains = 0) ~port_of ~id_of_port ~id
-    ~seed ~build () =
+    ?admin_port ?(wheel_tick = 1e-3) ?(exec_domains = 0)
+    ?(storage = fun _ -> Cp_sim.Stable.create ()) ~port_of ~id_of_port ~id ~seed
+    ~build () =
   let inet = Unix.inet_addr_of_string host in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -757,6 +797,8 @@ let create ?(host = "127.0.0.1") ?(trace_capacity = Obs.Trace.default_capacity)
       outbox = mk_outbox ~sock ~addr_of ~metrics;
       admin_sock;
       exec;
+      storage;
+      stores = Hashtbl.create 4;
     }
   in
   Mutex.lock t.lock;
@@ -796,5 +838,7 @@ let shutdown t =
     (match t.admin_sock with
     | Some s -> ( try Unix.close s with Unix.Unix_error _ -> ())
     | None -> ());
+    (* Seal the stores (a WAL flushes and closes its segment fd). *)
+    Hashtbl.iter (fun _ s -> try Cp_sim.Stable.close s with _ -> ()) t.stores;
     try Unix.close t.sock with Unix.Unix_error _ -> ()
   end

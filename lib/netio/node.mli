@@ -38,6 +38,7 @@ val create :
   ?admin_port:int ->
   ?wheel_tick:float ->
   ?exec_domains:int ->
+  ?storage:(int -> Cp_sim.Stable.t) ->
   port_of:(int -> int) ->
   id_of_port:(int -> int) ->
   id:int ->
@@ -48,10 +49,14 @@ val create :
 (** Bind [host:port_of id] (default host 127.0.0.1) and start the receiver
     and timer threads. [id_of_port] inverts [port_of] so that the [src]
     passed to handlers is a node id (datagrams carry no explicit sender
-    field). [build] receives the fabricated [ctx]; its stable storage is
-    in-memory (per-process), its RNG is seeded from [seed] and [id], its
-    [emit] records into a bounded per-node trace ring of [trace_capacity]
-    entries (default {!Cp_obs.Trace.default_capacity}).
+    field). [build] receives the fabricated [ctx]; its stable storage comes
+    from [storage gid] (default: a fresh in-memory store per group — pass a
+    {!Cp_storage.Wal} factory for durable disks; {!shutdown} closes every
+    store, and storage counters appear in {!metrics_text} and the admin
+    [/metrics], namespaced [g<gid>_] for secondary groups), its RNG is
+    seeded from [seed] and [id], its [emit] records into a bounded per-node
+    trace ring of [trace_capacity] entries
+    (default {!Cp_obs.Trace.default_capacity}).
 
     Timers of every hosted group share one {!Cp_fleet.Wheel} behind the
     timer thread — O(1) add/cancel regardless of group count — quantized

@@ -671,3 +671,56 @@ let decode_frames s =
     | Error m -> Error m
     | Ok (f_gid, f_msg, f_tid) -> Ok [ { f_gid; f_msg; f_tid; f_bytes = n } ]
   end
+
+(* --- stable records ----------------------------------------------------- *)
+
+(* What the effect interpreter persists: the acceptor image, one chosen log
+   entry, and the snapshot. Each record leads with a version byte so a
+   future layout change can read old disks; decoding returns Result and
+   requires exact landing, like the wire decoders — a half-written or
+   foreign blob is an [Error], never an exception. These replace [Marshal]
+   on the durable path: the bytes are defined by this grammar, not by the
+   OCaml runtime's internal format, so a WAL written by one OCaml version
+   reads back on another. *)
+
+type acceptor_image = Ballot.t * (int * Types.vote) list * int
+
+let stable_version = 1
+
+let encode_stable write v =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf (Char.chr stable_version);
+  write buf v;
+  Buffer.contents buf
+
+let decode_stable what read s =
+  let* v, pos = read_tag s ~pos:0 in
+  if v <> stable_version then
+    Error (Printf.sprintf "%s: bad version %d" what v)
+  else
+    let* x, pos = read s ~pos in
+    if pos = String.length s then Ok x
+    else Error (what ^ ": trailing bytes")
+
+let write_acceptor_image buf ((promised, votes, compacted) : acceptor_image) =
+  BW.ballot buf promised;
+  BW.list_ buf BW.ivote votes;
+  BW.varint buf compacted
+
+let read_acceptor_image s ~pos =
+  let* promised, pos = read_ballot s ~pos in
+  let* votes, pos = read_list read_ivote s ~pos in
+  let* compacted, pos = read_varint s ~pos in
+  Ok ((promised, votes, compacted), pos)
+
+let encode_acceptor_image = encode_stable write_acceptor_image
+
+let decode_acceptor_image = decode_stable "acceptor" read_acceptor_image
+
+let encode_stable_entry = encode_stable BW.entry
+
+let decode_stable_entry = decode_stable "entry" read_entry
+
+let encode_stable_snapshot = encode_stable BW.snapshot
+
+let decode_stable_snapshot = decode_stable "snapshot" read_snapshot

@@ -133,3 +133,31 @@ val write_string : Buffer.t -> string -> unit
 
 val read_string : string -> pos:int -> (string * int, string) result
 (** Returns (value, next position). *)
+
+(** {1 Stable records}
+
+    Typed, versioned codecs for what the effect interpreter persists — the
+    acceptor image, one chosen log entry, the snapshot. Each record leads
+    with a version byte; decoding returns [Result] and requires exact
+    landing, so a torn or foreign blob is an [Error], never an exception.
+    These replace [Marshal] on the durable path: the byte layout is defined
+    by the message grammar, not the OCaml runtime, so a WAL written under
+    one compiler version reads back under another. *)
+
+type acceptor_image = Ballot.t * (int * Types.vote) list * int
+(** Promised ballot, votes by instance, compaction floor — exactly the
+    payload of [Effect.Persist_acceptor]. *)
+
+val stable_version : int
+
+val encode_acceptor_image : acceptor_image -> string
+
+val decode_acceptor_image : string -> (acceptor_image, string) result
+
+val encode_stable_entry : Types.entry -> string
+
+val decode_stable_entry : string -> (Types.entry, string) result
+
+val encode_stable_snapshot : Types.snapshot -> string
+
+val decode_stable_snapshot : string -> (Types.snapshot, string) result

@@ -21,8 +21,8 @@ let machine_ids (initial : Config.t) ~spare_mains =
   (initial.Config.mains @ spares, initial.Config.aux_pool, spares)
 
 let create ?(seed = 1) ?(net = Cp_sim.Netmodel.lan) ?(params = Cp_engine.Params.default)
-    ?proc_time ?(spare_mains = 0) ?(obs = true) ?conflict_keys ~policy ~initial ~app
-    () =
+    ?proc_time ?(spare_mains = 0) ?(obs = true) ?conflict_keys ?storage ~policy
+    ~initial ~app () =
   let proc_time = Option.map (fun cost _msg -> cost) proc_time in
   (* Client submissions start a fresh causal chain: each command gets its
      own cross-node trace id. *)
@@ -32,8 +32,8 @@ let create ?(seed = 1) ?(net = Cp_sim.Netmodel.lan) ?(params = Cp_engine.Params.
     | _ -> false
   in
   let eng =
-    Engine.create ~seed ~net ?proc_time ~obs ~fresh_trace ~size_of:Types.size_of
-      ~classify:Types.classify ()
+    Engine.create ~seed ~net ?proc_time ~obs ~fresh_trace ?storage
+      ~size_of:Types.size_of ~classify:Types.classify ()
   in
   let universe_mains, universe_auxes, _ = machine_ids initial ~spare_mains in
   let t =

@@ -58,6 +58,7 @@ type 'm t = {
   trace_capacity : int;
   obs : bool; (* tracing on: rings, trace ids, hook; metrics stay on *)
   fresh_trace : 'm -> bool; (* messages that start a new causal chain *)
+  storage : int -> Stable.t; (* per-node store factory, keyed by node id *)
   mutable event_hook : (Obs.Trace.record -> unit) option;
 }
 
@@ -67,7 +68,8 @@ let event_cmp (a : _ event) (b : _ event) =
 
 let create ?(seed = 1) ?(net = Netmodel.lan) ?proc_time
     ?(trace_capacity = Obs.Trace.default_capacity) ?(obs = true)
-    ?(fresh_trace = fun _ -> false) ~size_of ~classify () =
+    ?(fresh_trace = fun _ -> false) ?(storage = fun _ -> Stable.create ())
+    ~size_of ~classify () =
   {
     time = 0.;
     seq = 0;
@@ -84,6 +86,7 @@ let create ?(seed = 1) ?(net = Netmodel.lan) ?proc_time
     trace_capacity;
     obs;
     fresh_trace;
+    storage;
     event_hook = None;
   }
 
@@ -214,7 +217,7 @@ let add_node t ~id builder =
       busy_until = 0.;
       cancelled = Hashtbl.create 8;
       node_rng = Rng.split t.engine_rng;
-      node_stable = Stable.create ();
+      node_stable = t.storage id;
       node_metrics = Metrics.create ();
       node_trace = Obs.Trace.create ~capacity:t.trace_capacity ();
       node_tctx = Obs.Traceid.create ~origin:id;

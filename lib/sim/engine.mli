@@ -49,6 +49,7 @@ val create :
   ?trace_capacity:int ->
   ?obs:bool ->
   ?fresh_trace:('m -> bool) ->
+  ?storage:(int -> Stable.t) ->
   size_of:('m -> int) ->
   classify:('m -> string) ->
   unit ->
@@ -77,7 +78,12 @@ val create :
     sender's current chain. The cluster runtime passes client submissions,
     so every command gets a distinct cross-node trace. Delivered messages
     carry their id to the destination, which adopts it for everything the
-    handler emits; timer steps always mint fresh ids. *)
+    handler emits; timer steps always mint fresh ids.
+
+    [storage] (default: a fresh in-memory store per node) supplies each
+    node's stable store at {!add_node} time, keyed by node id — pass
+    {!Cp_storage.Wal.store} closures to back simulated nodes with real
+    durable logs. The handle outlives crash/restart, as a disk would. *)
 
 val add_node : 'm t -> id:int -> ('m ctx -> 'm handlers) -> unit
 (** Register and start a node. Ids must be unique; they need not be dense. *)

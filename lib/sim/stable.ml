@@ -1,60 +1,40 @@
-type t = {
-  data : (string, string) Hashtbl.t;
-  prefix : string; (* "" for the root store; see [sub] *)
-  mutable writes : int;
-  mutable traffic : int;
-}
+(* Simulated per-node stable storage — now a thin alias over the pluggable
+   {!Cp_storage.Storage} layer. [create] gives the in-memory instance the
+   simulator has always used; runtimes can hand {!Engine.create} a factory
+   that opens a WAL instead, and every call site below keeps reading like
+   the old API. Values are bytes: typed encoding moved up into the
+   stable-record codecs ({!Cp_proto.Codec}). *)
 
-let create () = { data = Hashtbl.create 16; prefix = ""; writes = 0; traffic = 0 }
+type t = Cp_storage.Storage.t
 
-(* A namespaced view sharing the root's table, so many logical stores (one
-   per replica group on a machine) live on one "disk" and survive together
-   across crash/restart. The separator byte cannot appear in a view name,
-   so namespaces cannot collide by concatenation. Write counters are
-   per-view: each group's storage traffic is observable on its own. *)
-let sub t ~name =
-  if String.contains name '\x00' then invalid_arg "Stable.sub: name contains NUL";
-  { data = t.data; prefix = t.prefix ^ name ^ "\x00"; writes = 0; traffic = 0 }
+let create () = Cp_storage.Mem.store ()
 
-let key t k = t.prefix ^ k
+let sub = Cp_storage.Storage.sub
 
-let put t k v =
-  let s = Marshal.to_string v [] in
-  Hashtbl.replace t.data (key t k) s;
-  t.writes <- t.writes + 1;
-  t.traffic <- t.traffic + String.length s
+let put = Cp_storage.Storage.put
 
-let get t k =
-  match Hashtbl.find_opt t.data (key t k) with
-  | None -> None
-  | Some s -> Some (Marshal.from_string s 0)
+let get = Cp_storage.Storage.get
 
-let remove t k = Hashtbl.remove t.data (key t k)
+let remove = Cp_storage.Storage.remove
 
-let mem t k = Hashtbl.mem t.data (key t k)
+let mem = Cp_storage.Storage.mem
 
-let in_view t k =
-  String.length k >= String.length t.prefix
-  && String.sub k 0 (String.length t.prefix) = t.prefix
+let keys = Cp_storage.Storage.keys
 
-let strip t k = String.sub k (String.length t.prefix) (String.length k - String.length t.prefix)
+let flush = Cp_storage.Storage.flush
 
-let keys t =
-  Hashtbl.fold (fun k _ acc -> if in_view t k then strip t k :: acc else acc) t.data []
-  |> List.sort String.compare
+let bytes_used = Cp_storage.Storage.bytes_used
 
-let bytes_used t =
-  Hashtbl.fold (fun k s acc -> if in_view t k then acc + String.length s else acc) t.data 0
+let write_count = Cp_storage.Storage.write_count
 
-let write_count t = t.writes
+let bytes_written = Cp_storage.Storage.bytes_written
 
-let bytes_written t = t.traffic
+let wipe = Cp_storage.Storage.wipe
 
-let wipe t =
-  if t.prefix = "" then Hashtbl.reset t.data
-  else begin
-    let doomed =
-      Hashtbl.fold (fun k _ acc -> if in_view t k then k :: acc else acc) t.data []
-    in
-    List.iter (Hashtbl.remove t.data) doomed
-  end
+let close = Cp_storage.Storage.close
+
+let backend = Cp_storage.Storage.backend
+
+let stats = Cp_storage.Storage.stats
+
+let counter_list = Cp_storage.Storage.counter_list

@@ -1,32 +1,36 @@
 (** Simulated per-node stable storage.
 
     Paxos acceptors must persist promises and votes across crashes; main
-    processors also persist their log. This module models a disk: contents
-    survive {!Engine.crash}/{!Engine.restart}, and every write is counted so
-    experiments can report stable-storage traffic and footprint (the paper's
-    claim that auxiliaries need only a small amount of storage, E5).
+    processors also persist their log. Since the storage refactor this is a
+    thin alias over {!Cp_storage.Storage}: [create] returns the in-memory
+    backend (contents survive {!Engine.crash}/{!Engine.restart}; every
+    write is counted for E5's stable-storage accounting), and runtimes can
+    swap in the group-commit WAL ({!Cp_storage.Wal}) through
+    {!Engine.create}'s storage factory without touching any call site.
 
-    Values are stored via [Marshal]; [get] is only type-safe if the caller
-    reads back at the type it wrote — standard practice for this kind of
-    in-process store, and all call sites live in this repository. *)
+    Values are bytes. The engine's persistence path encodes acceptor
+    images, log entries, and snapshots with the typed versioned codecs in
+    {!Cp_proto.Codec} — [Marshal] is gone from the durable path. *)
 
-type t
+type t = Cp_storage.Storage.t
 
 val create : unit -> t
+(** A fresh in-memory root view ({!Cp_storage.Mem}). *)
 
 val sub : t -> name:string -> t
 (** A namespaced view of the same disk: keys written through the view are
     invisible to the parent (and to sibling views with other names), but
-    live in the parent's table, so they share its crash/restart lifetime —
+    live on the parent's device, so they share its crash/restart lifetime —
     except {!wipe} of the {e root}, which erases every view. Used by the
     fleet to give each replica group hosted on a machine its own logical
-    store. [name] must not contain a NUL byte. Write counters are
-    per-view. *)
+    store. [name] must not contain a NUL byte. Write counters are per-view
+    and stable across re-derivation of the same name. *)
 
-val put : t -> string -> 'a -> unit
-(** Persist [v] under [key], overwriting any previous value. *)
+val put : t -> string -> string -> unit
+(** Persist bytes under [key], overwriting any previous value. Durable
+    after the next {!flush}. *)
 
-val get : t -> string -> 'a option
+val get : t -> string -> string option
 
 val remove : t -> string -> unit
 
@@ -34,14 +38,28 @@ val mem : t -> string -> bool
 
 val keys : t -> string list
 
+val flush : t -> unit
+(** Make every preceding [put]/[remove] durable. The effect interpreter
+    calls this once per effect batch (group commit); a no-op in memory. *)
+
 val bytes_used : t -> int
-(** Current footprint: sum of serialized sizes of all live keys. *)
+(** Current footprint: sum of live value bytes in this view. *)
 
 val write_count : t -> int
-(** Total number of [put] calls over the node's lifetime. *)
+(** Total number of [put] calls through this view. *)
 
 val bytes_written : t -> int
-(** Total serialized bytes across all [put] calls (write traffic). *)
+(** Total value bytes across those puts (write traffic). *)
 
 val wipe : t -> unit
 (** Erase everything — models a disk loss / replacement machine. *)
+
+val close : t -> unit
+(** Release OS resources (no-op in memory). *)
+
+val backend : t -> string
+
+val stats : t -> Cp_storage.Storage.stats
+
+val counter_list : t -> (string * int) list
+(** Storage stats as metric counters for Prometheus surfaces. *)

@@ -1,0 +1,23 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xedb88320): the checksum in
+   every WAL record frame. Table-driven, allocation-free per byte; the
+   format must be readable across OCaml versions and word sizes, so the
+   stdlib's [Hashtbl.hash] is not an option. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xffffffff) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+let string s = update 0 s ~pos:0 ~len:(String.length s)

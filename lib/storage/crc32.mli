@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE, reflected) over strings — the WAL record checksum. *)
+
+val string : string -> int
+(** Checksum of the whole string, in [0, 0xffffffff]. *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** Extend a running checksum with a substring ([string s] =
+    [update 0 s ~pos:0 ~len]). *)

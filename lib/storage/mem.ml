@@ -1,0 +1,85 @@
+(* The in-memory instance: the original simulator "disk", semantics
+   preserved — a flat hashtable of full keys shared by every view, so
+   contents survive a hosted node's crash/restart (the handle outlives the
+   handlers) and a root [wipe] models disk loss. [flush] is a no-op: memory
+   is "durable" the moment it is written, which is exactly what the
+   deterministic golden traces pin. *)
+
+type root = {
+  data : (string, string) Hashtbl.t;
+  views : (string, Storage.view_counters) Hashtbl.t;
+}
+
+module View = struct
+  type t = { root : root; prefix : string; c : Storage.view_counters }
+
+  let backend _ = "mem"
+
+  let sub t ~name =
+    Storage.check_view_name name;
+    let prefix = t.prefix ^ name ^ "\x00" in
+    { t with prefix; c = Storage.register_view t.root.views ~prefix }
+
+  let key t k = t.prefix ^ k
+
+  let put t k v =
+    Hashtbl.replace t.root.data (key t k) v;
+    t.c.Storage.vc_writes <- t.c.Storage.vc_writes + 1;
+    t.c.Storage.vc_bytes <- t.c.Storage.vc_bytes + String.length v
+
+  let get t k = Hashtbl.find_opt t.root.data (key t k)
+
+  let remove t k = Hashtbl.remove t.root.data (key t k)
+
+  let mem t k = Hashtbl.mem t.root.data (key t k)
+
+  let in_view t k =
+    String.length k >= String.length t.prefix
+    && String.sub k 0 (String.length t.prefix) = t.prefix
+
+  let strip t k =
+    String.sub k (String.length t.prefix) (String.length k - String.length t.prefix)
+
+  let keys t =
+    Hashtbl.fold
+      (fun k _ acc -> if in_view t k then strip t k :: acc else acc)
+      t.root.data []
+    |> List.sort String.compare
+
+  let flush _ = ()
+
+  let wipe t =
+    if t.prefix = "" then Hashtbl.reset t.root.data
+    else begin
+      let doomed =
+        Hashtbl.fold (fun k _ acc -> if in_view t k then k :: acc else acc) t.root.data []
+      in
+      List.iter (Hashtbl.remove t.root.data) doomed
+    end
+
+  let stats t =
+    let bytes_used =
+      Hashtbl.fold
+        (fun k v acc -> if in_view t k then acc + String.length v else acc)
+        t.root.data 0
+    in
+    {
+      Storage.writes = t.c.Storage.vc_writes;
+      bytes_written = t.c.Storage.vc_bytes;
+      bytes_used;
+      fsyncs = 0;
+      bytes_appended = 0;
+      segments = 0;
+      recovery_ms = 0.;
+    }
+
+  let close _ = ()
+end
+
+type t = View.t
+
+let create () =
+  let root = { data = Hashtbl.create 16; views = Hashtbl.create 4 } in
+  { View.root; prefix = ""; c = Storage.register_view root.views ~prefix:"" }
+
+let store () = Storage.Packed ((module View), create ())

@@ -1,0 +1,14 @@
+(** In-memory {!Storage.S} instance — the simulator's default "disk".
+
+    Contents survive a hosted node's crash/restart (the handle outlives the
+    handlers); [flush] is a no-op; per-view write counters are stable
+    across re-derivation of the same [sub] name. *)
+
+module View : Storage.S
+
+type t = View.t
+
+val create : unit -> t
+
+val store : unit -> Storage.t
+(** A fresh packed root view. *)

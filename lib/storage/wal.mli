@@ -1,0 +1,45 @@
+(** Append-only segmented write-ahead log: the durable {!Storage.S}
+    instance.
+
+    Records are framed [len:u32le][crc32:u32le][payload] and appended with
+    write(2) immediately; {!Storage.S.flush} issues one fsync for the whole
+    batch (the group-commit rule). Recovery replays segments in order,
+    keeps every record up to the first truncated or CRC-failing frame, and
+    truncates the torn tail away — garbage tails never raise. Compaction
+    checkpoints the live index into a fresh segment once dead bytes
+    dominate, then deletes the older segments; a crash at any point of
+    compaction recovers to the same index. *)
+
+type io = {
+  io_write : Unix.file_descr -> Bytes.t -> int -> int -> int;
+  io_fsync : Unix.file_descr -> unit;
+}
+(** The syscall surface, injectable so {!Faulty} can sit below the log and
+    crash it mid-record (torn tails, short writes). *)
+
+val default_io : io
+
+module View : Storage.S
+
+type t = View.t
+
+val open_dir :
+  ?segment_max:int ->
+  ?compact_min:int ->
+  ?compact_factor:int ->
+  ?io:io ->
+  string ->
+  t
+(** Open (creating if needed) a log directory and replay it into memory.
+    [segment_max] rotates the active segment past that size;
+    compaction triggers once dead bytes exceed both [compact_min] and
+    [compact_factor * live_bytes]. *)
+
+val store :
+  ?segment_max:int ->
+  ?compact_min:int ->
+  ?compact_factor:int ->
+  ?io:io ->
+  string ->
+  Storage.t
+(** [open_dir] packed as a {!Storage.t}. *)

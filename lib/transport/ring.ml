@@ -22,18 +22,21 @@ and fabric = {
   links : (int * int, Bytering.t) Hashtbl.t; (* (src, dst) -> ring *)
   endpoints : (int, endpoint) Hashtbl.t;
   wheel : (int * string) Wheel.t; (* payload: (node, tag) *)
+  storage : int -> Cp_sim.Stable.t; (* per-endpoint store factory *)
   mutable time : float;
 }
 
 type t = fabric
 
-let create ?(ring_capacity = 65536) ?(seed = 1) () =
+let create ?(ring_capacity = 65536) ?(seed = 1)
+    ?(storage = fun _ -> Cp_sim.Stable.create ()) () =
   {
     ring_capacity;
     seed;
     links = Hashtbl.create 16;
     endpoints = Hashtbl.create 8;
     wheel = Wheel.create ~now:0. ();
+    storage;
     time = 0.;
   }
 
@@ -132,7 +135,7 @@ let add_node fab ~id ~build =
       e_id = id;
       e_fab = fab;
       e_rng = Cp_util.Rng.create ((fab.seed * 1009) + id);
-      e_stable = Cp_sim.Stable.create ();
+      e_stable = fab.storage id;
       e_metrics = Metrics.create ();
       e_trace = Obs.Trace.create ();
       e_tctx = Obs.Traceid.create ~origin:id;

@@ -20,9 +20,12 @@ type t
 
 type endpoint
 
-val create : ?ring_capacity:int -> ?seed:int -> unit -> t
+val create :
+  ?ring_capacity:int -> ?seed:int -> ?storage:(int -> Cp_sim.Stable.t) -> unit -> t
 (** [ring_capacity] (default 65536) sizes each link's byte ring; [seed]
-    (default 1) roots every endpoint's RNG stream. *)
+    (default 1) roots every endpoint's RNG stream. [storage] supplies each
+    endpoint's stable store at {!add_node} time, keyed by endpoint id
+    (default: a fresh in-memory store per endpoint). *)
 
 val add_node :
   t ->

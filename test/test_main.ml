@@ -33,4 +33,5 @@ let () =
       ("exec", Test_exec.suite);
       ("golden", Test_golden.suite);
       ("transport", Test_transport.suite);
+      ("storage", Test_storage.suite);
     ]
